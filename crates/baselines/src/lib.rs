@@ -1,0 +1,106 @@
+//! Competitor forecasting models for the SMiLer evaluation (paper §6.3.1).
+//!
+//! The paper compares SMiLer against two families:
+//!
+//! * **Offline (eager) learners** — trained once on history:
+//!   [`sparse_gp::Psgp`] (projected sparse GP, Csató & Opper / Barillec et
+//!   al.), [`sparse_gp::Vlgp`] (Titsias' variational sparse GP),
+//!   [`nystrom::NysSvr`] (low-rank RBF SVR via the Nyström method),
+//!   [`linear::SgdSvr`] and [`linear::SgdRr`] (linear ε-SVR / Huber robust
+//!   regression with batch SGD).
+//! * **Online learners** — built on the fly: [`lazyknn::LazyKnn`]
+//!   (DTW-weighted kNN regression), [`holtwinters::HoltWinters`]
+//!   (additive triple exponential smoothing, Full/Seg variants),
+//!   [`linear::OnlineSvr`] and [`linear::OnlineRr`] (one-pass SGD).
+//!
+//! All implement [`SeriesPredictor`], the uniform interface the evaluation
+//! harness drives: `train` on history, `observe` each arriving point,
+//! `predict` a `(mean, variance)` for any horizon. Models without a native
+//! predictive distribution report a residual-based variance, mirroring how
+//! the paper obtained confidence values for SVR (libSVM's method) and kNN
+//! (sample variance).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod holtwinters;
+pub mod lazyknn;
+pub mod linear;
+pub mod nystrom;
+pub mod sparse_gp;
+
+/// Uniform interface over all competitor models.
+pub trait SeriesPredictor: Send {
+    /// Display name matching the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Whether the model is in the paper's *online* group (Fig 10) rather
+    /// than the *offline* group (Fig 9).
+    fn is_online(&self) -> bool;
+
+    /// Fit on historical data. Offline models do their (possibly expensive)
+    /// training here; online models initialise state.
+    fn train(&mut self, history: &[f64]);
+
+    /// Absorb one newly observed value (called once per evaluation step,
+    /// after predictions for the step were recorded).
+    fn observe(&mut self, value: f64);
+
+    /// Predictive mean and variance of the value `h` steps past the last
+    /// observed point.
+    fn predict(&mut self, h: usize) -> (f64, f64);
+}
+
+/// Build `(segment, h-ahead)` training pairs from a series: inputs are
+/// `d`-length windows, targets the value `h` steps after each window ends.
+/// `stride` subsamples windows to bound training cost.
+pub(crate) fn training_pairs(
+    history: &[f64],
+    d: usize,
+    h: usize,
+    stride: usize,
+) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    if history.len() < d + h {
+        return (xs, ys);
+    }
+    let mut t = 0;
+    while t + d - 1 + h < history.len() {
+        xs.push(history[t..t + d].to_vec());
+        ys.push(history[t + d - 1 + h]);
+        t += stride.max(1);
+    }
+    (xs, ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_pairs_align_inputs_and_targets() {
+        let h: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let (xs, ys) = training_pairs(&h, 4, 2, 1);
+        assert_eq!(xs.len(), ys.len());
+        assert_eq!(xs[0], vec![0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(ys[0], 5.0); // window ends at 3, +2 → index 5
+        let last = xs.len() - 1;
+        assert_eq!(*xs[last].last().unwrap() as usize + 2, ys[last] as usize);
+    }
+
+    #[test]
+    fn training_pairs_respect_stride() {
+        let h: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let (dense, _) = training_pairs(&h, 4, 1, 1);
+        let (sparse, _) = training_pairs(&h, 4, 1, 5);
+        assert!(sparse.len() * 4 <= dense.len());
+        assert_eq!(sparse[1][0], 5.0);
+    }
+
+    #[test]
+    fn training_pairs_short_history() {
+        let (xs, ys) = training_pairs(&[1.0, 2.0], 4, 1, 1);
+        assert!(xs.is_empty() && ys.is_empty());
+    }
+}

@@ -1,0 +1,55 @@
+//! Microbenchmarks of the DTW kernels: full-matrix reference vs the
+//! paper's compressed 2×(2ρ+2) buffer (Appendix E, Algorithm 2) vs
+//! early abandoning, across the paper's segment lengths (ELV = 32/64/96)
+//! and warping widths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn series(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    (0..n)
+        .map(|i| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (i as f64 * 0.11).sin() + (state % 1000) as f64 / 2000.0
+        })
+        .collect()
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dtw_variants");
+    for &d in &[32usize, 64, 96] {
+        let q = series(d, 1);
+        let s = series(d, 2);
+        group.bench_with_input(BenchmarkId::new("full_matrix", d), &d, |b, _| {
+            b.iter(|| smiler_dtw::dtw_banded(black_box(&q), black_box(&s), 8))
+        });
+        group.bench_with_input(BenchmarkId::new("compressed", d), &d, |b, _| {
+            b.iter(|| smiler_dtw::dtw_compressed(black_box(&q), black_box(&s), 8))
+        });
+        group.bench_with_input(BenchmarkId::new("early_abandon_loose", d), &d, |b, _| {
+            b.iter(|| smiler_dtw::dtw_early_abandon(black_box(&q), black_box(&s), 8, 1e9))
+        });
+        group.bench_with_input(BenchmarkId::new("early_abandon_tight", d), &d, |b, _| {
+            b.iter(|| smiler_dtw::dtw_early_abandon(black_box(&q), black_box(&s), 8, 0.1))
+        });
+    }
+    group.finish();
+}
+
+fn bench_warping_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dtw_warping_width");
+    let q = series(96, 3);
+    let s = series(96, 4);
+    for &rho in &[2usize, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(rho), &rho, |b, &rho| {
+            b.iter(|| smiler_dtw::dtw_compressed(black_box(&q), black_box(&s), rho))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants, bench_warping_width);
+criterion_main!(benches);

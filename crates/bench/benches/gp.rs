@@ -1,0 +1,62 @@
+//! Benchmarks of the Gaussian Process machinery: fitting, prediction, the
+//! LOO gradient (the per-CG-step cost of §5.2.2), and the full online vs
+//! cold-start training paths, across the paper's EKV neighbourhood sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smiler_gp::kernel::Hyperparams;
+use smiler_gp::{loo, train_full, train_online, GpModel, TrainConfig};
+use smiler_linalg::Matrix;
+use std::hint::black_box;
+
+fn knn_data(k: usize, d: usize) -> (Matrix, Vec<f64>) {
+    let x = Matrix::from_fn(k, d, |i, j| ((i * 31 + j * 7) % 17) as f64 * 0.1 + (j as f64 * 0.2).sin());
+    let y: Vec<f64> = (0..k).map(|i| (i as f64 * 0.4).sin()).collect();
+    (x, y)
+}
+
+fn bench_fit_predict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gp_fit_predict");
+    let hyper = Hyperparams::new(1.0, 2.0, 0.1);
+    for &k in &[8usize, 16, 32, 64] {
+        let (x, y) = knn_data(k, 64);
+        group.bench_with_input(BenchmarkId::new("fit", k), &k, |b, _| {
+            b.iter(|| GpModel::fit(x.clone(), black_box(&y), hyper).unwrap())
+        });
+        let gp = GpModel::fit(x.clone(), &y, hyper).unwrap();
+        let x0 = vec![0.3; 64];
+        group.bench_with_input(BenchmarkId::new("predict", k), &k, |b, _| {
+            b.iter(|| gp.predict(black_box(&x0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_loo_gradient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gp_loo_gradient");
+    let hyper = Hyperparams::new(1.0, 2.0, 0.1);
+    for &k in &[8usize, 16, 32, 64] {
+        let (x, y) = knn_data(k, 64);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| loo::loo_value_and_log_gradient(black_box(&x), black_box(&y), &hyper))
+        });
+    }
+    group.finish();
+}
+
+fn bench_training_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gp_training");
+    group.sample_size(20);
+    let (x, y) = knn_data(32, 64);
+    let config = TrainConfig::default();
+    group.bench_function("cold_start_full", |b| {
+        b.iter(|| train_full(black_box(&x), black_box(&y), &config))
+    });
+    let warm = train_full(&x, &y, &config);
+    group.bench_function("warm_start_online_5_steps", |b| {
+        b.iter(|| train_online(black_box(&x), black_box(&y), warm, &config))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit_predict, bench_loo_gradient, bench_training_paths);
+criterion_main!(benches);

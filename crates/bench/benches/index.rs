@@ -1,0 +1,72 @@
+//! Benchmarks of the SMiLer index lifecycle: build, continuous advance
+//! (the Remark 1 reuse), group-level bound computation (Algorithm 1) and
+//! the full suffix kNN search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smiler_gpu::Device;
+use smiler_index::{IndexParams, SmilerIndex};
+use smiler_timeseries::synthetic::{DatasetKind, SyntheticSpec};
+
+fn road_series(days: usize) -> Vec<f64> {
+    SyntheticSpec { kind: DatasetKind::Road, sensors: 1, days, seed: 7 }
+        .generate()
+        .sensors
+        .remove(0)
+        .values()
+        .to_vec()
+}
+
+fn params() -> IndexParams {
+    IndexParams::default() // ρ=8, ω=16, ELV={32,64,96}, k=32
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(20);
+    for &days in &[7usize, 14, 28] {
+        let series = road_series(days);
+        group.bench_with_input(BenchmarkId::from_parameter(days), &days, |b, _| {
+            let device = Device::default_gpu();
+            b.iter(|| SmilerIndex::build(&device, series.clone(), params()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_advance_vs_rebuild(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_maintenance");
+    group.sample_size(20);
+    let series = road_series(14);
+    let device = Device::default_gpu();
+    group.bench_function("advance_one_step", |b| {
+        let mut index = SmilerIndex::build(&device, series.clone(), params());
+        let mut v = 0.0f64;
+        b.iter(|| {
+            v += 0.01;
+            index.advance(&device, v.sin());
+        })
+    });
+    group.bench_function("rebuild_from_scratch", |b| {
+        b.iter(|| SmilerIndex::build(&device, series.clone(), params()))
+    });
+    group.finish();
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_search");
+    group.sample_size(20);
+    for &days in &[7usize, 14] {
+        let series = road_series(days);
+        let device = Device::default_gpu();
+        let max_end = series.len() - 30;
+        group.bench_with_input(BenchmarkId::new("suffix_knn", days), &days, |b, _| {
+            let mut index = SmilerIndex::build(&device, series.clone(), params());
+            index.search(&device, max_end); // warm the continuous threshold
+            b.iter(|| index.search(&device, max_end))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_advance_vs_rebuild, bench_search);
+criterion_main!(benches);

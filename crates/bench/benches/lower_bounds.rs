@@ -1,0 +1,94 @@
+//! Microbenchmarks of the DTW lower bounds (the Table 3 machinery):
+//! envelope construction, LB_Kim, LB_Keogh in both directions, and the
+//! enhanced bound LBen — each orders of magnitude cheaper than the DTW it
+//! gates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smiler_timeseries::Envelope;
+use std::hint::black_box;
+
+fn series(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D) | 1;
+    (0..n)
+        .map(|i| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (i as f64 * 0.07).cos() + (state % 1000) as f64 / 2000.0
+        })
+        .collect()
+}
+
+fn bench_envelope(c: &mut Criterion) {
+    let mut group = c.benchmark_group("envelope");
+    for &n in &[96usize, 1024, 8192] {
+        let s = series(n, 1);
+        group.bench_with_input(BenchmarkId::new("deque", n), &n, |b, _| {
+            b.iter(|| Envelope::compute(black_box(&s), 8))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| smiler_timeseries::envelope::envelope_naive(black_box(&s), 8))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bounds_vs_dtw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bound_vs_dtw_d96");
+    let d = 96;
+    let q = series(d, 2);
+    let s = series(d, 3);
+    let qe = Envelope::compute(&q, 8);
+    let se = Envelope::compute(&s, 8);
+    group.bench_function("lb_kim", |b| {
+        b.iter(|| smiler_dtw::lb_kim_fl(black_box(&q), black_box(&s)))
+    });
+    group.bench_function("lb_keogh_eq", |b| {
+        b.iter(|| smiler_dtw::lb_keogh(black_box(&s), &qe.upper, &qe.lower))
+    });
+    group.bench_function("lb_keogh_ec", |b| {
+        b.iter(|| smiler_dtw::lb_keogh(black_box(&q), &se.upper, &se.lower))
+    });
+    group.bench_function("lb_en", |b| {
+        b.iter(|| {
+            smiler_dtw::lb_en(
+                black_box(&q),
+                black_box(&s),
+                (&qe.upper, &qe.lower),
+                (&se.upper, &se.lower),
+            )
+        })
+    });
+    group.bench_function("dtw", |b| {
+        b.iter(|| smiler_dtw::dtw_compressed(black_box(&q), black_box(&s), 8))
+    });
+    group.finish();
+}
+
+fn bench_incremental_envelope(c: &mut Criterion) {
+    // Remark 1's cost story: extending the envelope by one point vs a full
+    // recompute.
+    let mut group = c.benchmark_group("envelope_update");
+    let base = series(8192, 4);
+    group.bench_function("extend_one_point", |b| {
+        let mut grown = base.clone();
+        grown.push(0.5);
+        b.iter_batched(
+            || Envelope::compute(&base, 8),
+            |mut env| {
+                env.extend_to(black_box(&grown));
+                env
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("recompute_all", |b| {
+        let mut grown = base.clone();
+        grown.push(0.5);
+        b.iter(|| Envelope::compute(black_box(&grown), 8))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_envelope, bench_bounds_vs_dtw, bench_incremental_envelope);
+criterion_main!(benches);

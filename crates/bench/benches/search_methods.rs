@@ -1,0 +1,58 @@
+//! Wall-clock comparison of the Fig 7 search methods at bench scale —
+//! the host-side counterpart of the simulated-time experiment
+//! (`cargo run -p smiler-bench --bin expt -- fig7`). Because the simulator
+//! executes real work on real cores, the *relative* wall-clock ordering of
+//! the methods mirrors their simulated ordering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smiler_gpu::{CpuSpec, Device};
+use smiler_index::{scan, IndexParams, SmilerIndex};
+use smiler_timeseries::synthetic::{DatasetKind, SyntheticSpec};
+
+const ELV: [usize; 3] = [32, 64, 96];
+const K: usize = 32;
+const RHO: usize = 8;
+
+fn road_series() -> Vec<f64> {
+    SyntheticSpec { kind: DatasetKind::Road, sensors: 1, days: 10, seed: 3 }
+        .generate()
+        .sensors
+        .remove(0)
+        .values()
+        .to_vec()
+}
+
+fn bench_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_wall_clock");
+    group.sample_size(10);
+    let series = road_series();
+    let max_end = series.len() - 30;
+
+    group.bench_function("smiler_idx", |b| {
+        let device = Device::default_gpu();
+        let mut index = SmilerIndex::build(&device, series.clone(), IndexParams {
+            rho: RHO,
+            omega: 16,
+            lengths: ELV.to_vec(),
+            k_max: K,
+        });
+        index.search(&device, max_end);
+        b.iter(|| index.search(&device, max_end))
+    });
+    group.bench_function("smiler_dir", |b| {
+        let device = Device::default_gpu();
+        b.iter(|| scan::smiler_dir(&device, &series, &ELV, K, RHO, max_end))
+    });
+    group.bench_function("fast_gpu_scan", |b| {
+        let device = Device::default_gpu();
+        b.iter(|| scan::fast_gpu_scan(&device, &series, &ELV, K, RHO, max_end))
+    });
+    group.bench_function("fast_cpu_scan", |b| {
+        let device = Device::cpu(CpuSpec::default());
+        b.iter(|| scan::fast_cpu_scan(&device, &series, &ELV, K, RHO, max_end))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

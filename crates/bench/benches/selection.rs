@@ -1,0 +1,64 @@
+//! Benchmarks of the GPU k-selection kernel (distributive partitioning,
+//! §4.3.3) against a full sort, at candidate-set sizes typical after
+//! filtering.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smiler_gpu::{kselect, Device};
+use std::hint::black_box;
+
+fn values(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i as u64).wrapping_mul(2654435761) % 100_000) as f64).collect()
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("k_selection");
+    let device = Device::default_gpu().with_host_threads(1);
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let data = values(n);
+        group.bench_with_input(BenchmarkId::new("bucket_kselect_k32", n), &n, |b, _| {
+            b.iter(|| {
+                device
+                    .launch(1, |ctx| kselect::select_k_smallest(ctx, black_box(&data), 32))
+                    .results
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("full_sort", n), &n, |b, _| {
+            b.iter(|| {
+                let mut idx: Vec<usize> = (0..data.len()).collect();
+                idx.sort_by(|&a, &b| data[a].partial_cmp(&data[b]).unwrap());
+                idx.truncate(32);
+                idx
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_multi_query(c: &mut Criterion) {
+    // The paper's extension: one block per query. Many small selections in
+    // one launch vs sequential launches.
+    let mut group = c.benchmark_group("multi_query_selection");
+    group.sample_size(30);
+    let rows: Vec<Vec<f64>> = (0..64).map(|s| values(5_000 + s)).collect();
+    let ks = vec![32usize; rows.len()];
+    let parallel = Device::default_gpu();
+    group.bench_function("one_launch_64_queries", |b| {
+        b.iter(|| kselect::launch_multi_select(&parallel, black_box(&rows), &ks))
+    });
+    group.bench_function("sixtyfour_single_launches", |b| {
+        b.iter(|| {
+            rows.iter()
+                .map(|row| {
+                    parallel
+                        .launch(1, |ctx| kselect::select_k_smallest(ctx, row, 32))
+                        .results
+                })
+                .collect::<Vec<_>>()
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection, bench_multi_query);
+criterion_main!(benches);

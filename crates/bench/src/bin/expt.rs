@@ -1,0 +1,72 @@
+//! `expt` — reproduce the SMiLer paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p smiler-bench --release --bin expt -- <id> [--smoke]
+//!
+//!   ids: table3 fig7 fig8 fig9 fig10 fig11 table4 fig12 fig13 all
+//!   --smoke   tiny datasets (CI-sized), same code paths
+//! ```
+//!
+//! Each experiment prints the paper-style table and appends JSON rows to
+//! `results/<id>.jsonl` for EXPERIMENTS.md.
+
+use smiler_bench::experiments::{ablation, predict, scale as scale_expts, search};
+use smiler_bench::{report, ExptScale, Measurement};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let ids: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    if ids.is_empty() {
+        eprintln!(
+            "usage: expt <table3|fig7|fig8|fig9|fig10|fig11|table4|fig12|fig13|ablation|all> [--smoke]"
+        );
+        std::process::exit(2);
+    }
+    let scale = if smoke { ExptScale::smoke() } else { ExptScale::default_scale() };
+    println!(
+        "SMiLer experiment harness — {} sensors/dataset, {} days, seed {}",
+        scale.sensors, scale.days, scale.seed
+    );
+    let results_dir = PathBuf::from("results");
+
+    let run = |id: &str| -> Vec<Measurement> {
+        let t0 = std::time::Instant::now();
+        let records = match id {
+            "table3" => search::table3(&scale),
+            "fig7" => search::fig7(&scale),
+            "fig8" => search::fig8(&scale),
+            "fig9" => predict::fig9(&scale),
+            "fig10" => predict::fig10(&scale),
+            "fig11" => predict::fig11(&scale),
+            "table4" => predict::table4(&scale),
+            "fig12" => {
+                let mut r = scale_expts::fig12_cost(&scale);
+                r.extend(scale_expts::fig12_capacity());
+                r
+            }
+            "fig13" => scale_expts::fig13(&scale),
+            "ablation" => ablation::run(&scale),
+            other => {
+                eprintln!("unknown experiment '{other}'");
+                std::process::exit(2);
+            }
+        };
+        eprintln!("[{id}] finished in {:.1}s", t0.elapsed().as_secs_f64());
+        report::write_records(&results_dir, id, &records);
+        records
+    };
+
+    let all =
+        ["table3", "fig7", "fig8", "fig9", "fig10", "fig11", "table4", "fig12", "fig13", "ablation"];
+    if ids.contains(&"all") {
+        for id in all {
+            run(id);
+        }
+    } else {
+        for id in ids {
+            run(id);
+        }
+    }
+}

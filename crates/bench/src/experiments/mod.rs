@@ -1,0 +1,12 @@
+//! One module per group of paper artifacts:
+//!
+//! * [`search`] — Table 3, Fig 7, Fig 8 (suffix kNN search on DTW);
+//! * [`predict`] — Fig 9, Fig 10, Fig 11, Table 4 (prediction quality and
+//!   running time);
+//! * [`scale`] — Fig 12, Fig 13 (scalability and the PSGP comparison);
+//! * [`ablation`] — design-choice ablations beyond the paper's own.
+
+pub mod ablation;
+pub mod predict;
+pub mod scale;
+pub mod search;

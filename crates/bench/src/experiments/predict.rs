@@ -1,0 +1,345 @@
+//! Prediction-step experiments: Fig 9 (offline competitors), Fig 10
+//! (online competitors), Fig 11 (auto-tuning ablation) and Table 4
+//! (running times).
+//!
+//! All models are driven through the shared continuous-prediction protocol
+//! of `smiler_core::eval` (200 steps in the paper; `ExptScale::eval_steps`
+//! here), scored by MAE and MNLPD per horizon.
+
+use crate::report::print_table;
+use crate::{ExptScale, Measurement};
+use smiler_baselines::holtwinters::HoltWinters;
+use smiler_baselines::lazyknn::{LazyKnn, LazyKnnConfig};
+use smiler_baselines::linear::{self, LinearConfig};
+use smiler_baselines::nystrom::{nys_svr, NysSvrConfig};
+use smiler_baselines::sparse_gp::{self, SparseGpConfig};
+use smiler_baselines::SeriesPredictor;
+use smiler_core::ensemble::{EnsembleConfig, EnsembleMode};
+use smiler_core::eval::{average_results, evaluate, EvalConfig, EvalResult};
+use smiler_core::sensor::{SmilerConfig, SmilerForecaster};
+use smiler_gpu::Device;
+use smiler_timeseries::synthetic::DatasetKind;
+use smiler_timeseries::SensorDataset;
+use std::sync::Arc;
+
+/// Horizons plotted in Figures 9–11.
+pub fn horizons() -> Vec<usize> {
+    vec![1, 5, 10, 15, 20, 25, 30]
+}
+
+/// Sensors evaluated per dataset (the paper restricts expensive offline
+/// models to a random sensor subset; we use a fixed prefix for
+/// determinism).
+const EVAL_SENSORS: usize = 3;
+
+fn smiler_config() -> SmilerConfig {
+    SmilerConfig { h_max: 30, ..Default::default() }
+}
+
+fn stride_for(len: usize) -> usize {
+    (len / 1200).max(1)
+}
+
+/// Instantiate one competitor by name.
+pub fn build_model(
+    name: &str,
+    device: &Arc<Device>,
+    samples_per_day: usize,
+    history_len: usize,
+) -> Box<dyn SeriesPredictor> {
+    let hs = horizons();
+    let stride = stride_for(history_len);
+    let linear_cfg =
+        LinearConfig { window: 32, horizons: hs.clone(), ..Default::default() };
+    match name {
+        "SMiLer-GP" => Box::new(SmilerForecaster::gp(Arc::clone(device), smiler_config())),
+        "SMiLer-AR" => Box::new(SmilerForecaster::ar(Arc::clone(device), smiler_config())),
+        "PSGP" => Box::new(sparse_gp::psgp(SparseGpConfig {
+            horizons: hs,
+            stride,
+            train_iters: 6,
+            ..SparseGpConfig::psgp()
+        })),
+        "VLGP" => Box::new(sparse_gp::vlgp(SparseGpConfig {
+            horizons: hs,
+            stride,
+            train_iters: 6,
+            ..SparseGpConfig::vlgp()
+        })),
+        "NysSVR" => Box::new(nys_svr(NysSvrConfig { horizons: hs, stride, ..Default::default() })),
+        "SgdSVR" => Box::new(linear::sgd_svr(linear_cfg)),
+        "SgdRR" => Box::new(linear::sgd_rr(linear_cfg)),
+        "OnlineSVR" => Box::new(linear::online_svr(linear_cfg)),
+        "OnlineRR" => Box::new(linear::online_rr(linear_cfg)),
+        "LazyKNN" => Box::new(LazyKnn::new(LazyKnnConfig { window: 32, k: 16, rho: 8, bootstrap: None })),
+        "FullHW" => Box::new(HoltWinters::full(samples_per_day)),
+        "SegHW" => Box::new(HoltWinters::segment(samples_per_day)),
+        other => panic!("unknown model {other}"),
+    }
+}
+
+/// The Fig 9 (offline) and Fig 10 (online) model rosters. SMiLer appears in
+/// both, as in the paper.
+pub fn offline_roster() -> Vec<&'static str> {
+    vec!["SMiLer-GP", "SMiLer-AR", "PSGP", "VLGP", "NysSVR", "SgdSVR", "SgdRR"]
+}
+
+/// Online models (Fig 10).
+pub fn online_roster() -> Vec<&'static str> {
+    vec!["SMiLer-GP", "SMiLer-AR", "LazyKNN", "FullHW", "SegHW", "OnlineSVR", "OnlineRR"]
+}
+
+/// Evaluate one named model on a dataset (averaged over the sensor prefix).
+pub fn evaluate_model(
+    name: &str,
+    dataset: &SensorDataset,
+    steps: usize,
+) -> EvalResult {
+    let device = Arc::new(Device::default_gpu());
+    let config = EvalConfig { horizons: horizons(), steps };
+    let per_sensor: Vec<EvalResult> = dataset
+        .sensors
+        .iter()
+        .take(EVAL_SENSORS)
+        .map(|sensor| {
+            let mut model =
+                build_model(name, &device, dataset.samples_per_day, sensor.len());
+            evaluate(model.as_mut(), sensor.values(), &config)
+        })
+        .collect();
+    average_results(&per_sensor)
+}
+
+fn figure_rows(
+    experiment: &str,
+    dataset: &SensorDataset,
+    roster: &[&str],
+    steps: usize,
+    records: &mut Vec<Measurement>,
+) -> Vec<EvalResult> {
+    let mut results = Vec::new();
+    for name in roster {
+        eprintln!("[{experiment}] {} / {}", dataset.name, name);
+        let r = evaluate_model(name, dataset, steps);
+        for (&h, &mae) in &r.mae {
+            records.push(Measurement::new(
+                experiment,
+                Some(&dataset.name),
+                name,
+                Some(format!("h={h}")),
+                "mae",
+                mae,
+            ));
+        }
+        for (&h, &mnlpd) in &r.mnlpd {
+            records.push(Measurement::new(
+                experiment,
+                Some(&dataset.name),
+                name,
+                Some(format!("h={h}")),
+                "mnlpd",
+                mnlpd,
+            ));
+        }
+        records.push(Measurement::new(
+            experiment,
+            Some(&dataset.name),
+            name,
+            None,
+            "train_s",
+            r.train_seconds,
+        ));
+        records.push(Measurement::new(
+            experiment,
+            Some(&dataset.name),
+            name,
+            None,
+            "predict_ms",
+            r.predict_ms,
+        ));
+        results.push(r);
+    }
+    results
+}
+
+fn print_metric_tables(title: &str, results: &[EvalResult]) {
+    let hs = horizons();
+    let header: Vec<String> =
+        std::iter::once("model".to_string()).chain(hs.iter().map(|h| format!("h={h}"))).collect();
+    for (metric, pick) in [
+        ("MAE", true),
+        ("MNLPD", false),
+    ] {
+        let rows: Vec<Vec<String>> = results
+            .iter()
+            .map(|r| {
+                std::iter::once(r.name.clone())
+                    .chain(hs.iter().map(|h| {
+                        let v = if pick { r.mae[h] } else { r.mnlpd[h] };
+                        format!("{v:.3}")
+                    }))
+                    .collect()
+            })
+            .collect();
+        print_table(&format!("{title} — {metric}"), &header, &rows);
+    }
+}
+
+/// Fig 9: offline learning models across horizons.
+pub fn fig9(scale: &ExptScale) -> Vec<Measurement> {
+    let mut records = Vec::new();
+    for kind in DatasetKind::all() {
+        let dataset = scale.dataset(kind);
+        let results =
+            figure_rows("fig9", &dataset, &offline_roster(), scale.eval_steps, &mut records);
+        print_metric_tables(&format!("Fig 9 ({}): offline models", dataset.name), &results);
+    }
+    records
+}
+
+/// Fig 10: online learning models across horizons.
+pub fn fig10(scale: &ExptScale) -> Vec<Measurement> {
+    let mut records = Vec::new();
+    for kind in DatasetKind::all() {
+        let dataset = scale.dataset(kind);
+        let results =
+            figure_rows("fig10", &dataset, &online_roster(), scale.eval_steps, &mut records);
+        print_metric_tables(&format!("Fig 10 ({}): online models", dataset.name), &results);
+    }
+    records
+}
+
+/// Fig 11: the adaptive auto-tuning ablation — SMiLer vs SMiLerNE (no
+/// ensemble, fixed k=32/d=64) vs SMiLerNS (ensemble, no self-adaptive
+/// weights), for both predictors.
+pub fn fig11(scale: &ExptScale) -> Vec<Measurement> {
+    let variants: Vec<(&str, SmilerConfig)> = vec![
+        ("SMiLer", smiler_config()),
+        (
+            "SMiLerNE",
+            SmilerConfig { ensemble: EnsembleConfig::single(32, 64), ..smiler_config() },
+        ),
+        (
+            "SMiLerNS",
+            SmilerConfig {
+                ensemble: EnsembleConfig {
+                    mode: EnsembleMode::NoSelfAdaptive,
+                    ..EnsembleConfig::default()
+                },
+                ..smiler_config()
+            },
+        ),
+    ];
+    let mut records = Vec::new();
+    for kind in DatasetKind::all() {
+        let dataset = scale.dataset(kind);
+        let mut results = Vec::new();
+        for gp in [true, false] {
+            for (vname, cfg) in &variants {
+                let name = format!("{}-{}", vname, if gp { "GP" } else { "AR" });
+                eprintln!("[fig11] {} / {}", dataset.name, name);
+                let device = Arc::new(Device::default_gpu());
+                let config = EvalConfig { horizons: horizons(), steps: scale.eval_steps };
+                let per_sensor: Vec<EvalResult> = dataset
+                    .sensors
+                    .iter()
+                    .take(EVAL_SENSORS)
+                    .map(|sensor| {
+                        let mut model: Box<dyn SeriesPredictor> = if gp {
+                            Box::new(SmilerForecaster::gp(Arc::clone(&device), cfg.clone()))
+                        } else {
+                            Box::new(SmilerForecaster::ar(Arc::clone(&device), cfg.clone()))
+                        };
+                        evaluate(model.as_mut(), sensor.values(), &config)
+                    })
+                    .collect();
+                let mut avg = average_results(&per_sensor);
+                avg.name = name.clone();
+                for (&h, &mae) in &avg.mae {
+                    records.push(Measurement::new(
+                        "fig11",
+                        Some(&dataset.name),
+                        &name,
+                        Some(format!("h={h}")),
+                        "mae",
+                        mae,
+                    ));
+                }
+                for (&h, &mnlpd) in &avg.mnlpd {
+                    records.push(Measurement::new(
+                        "fig11",
+                        Some(&dataset.name),
+                        &name,
+                        Some(format!("h={h}")),
+                        "mnlpd",
+                        mnlpd,
+                    ));
+                }
+                results.push(avg);
+            }
+        }
+        print_metric_tables(&format!("Fig 11 ({}): auto-tuning ablation", dataset.name), &results);
+    }
+    records
+}
+
+/// Table 4: training time (per dataset, all evaluated sensors, one
+/// prediction step's model) and prediction time per sensor per query.
+pub fn table4(scale: &ExptScale) -> Vec<Measurement> {
+    let all: Vec<&str> = {
+        let mut v = offline_roster();
+        for m in online_roster() {
+            if !v.contains(&m) {
+                v.push(m);
+            }
+        }
+        v
+    };
+    let steps = scale.eval_steps.min(20);
+    let mut records = Vec::new();
+    let mut rows = Vec::new();
+    let datasets: Vec<SensorDataset> =
+        DatasetKind::all().into_iter().map(|k| scale.dataset(k)).collect();
+    for name in &all {
+        let mut row = vec![name.to_string()];
+        for dataset in &datasets {
+            eprintln!("[table4] {} / {}", dataset.name, name);
+            let r = evaluate_model(name, dataset, steps);
+            // SMiLer / HW / LazyKNN have no training phase; their `train`
+            // is index build / bookkeeping, reported for transparency.
+            row.push(format!("{:.3}", r.train_seconds));
+            row.push(format!("{:.3}", r.predict_ms));
+            records.push(Measurement::new(
+                "table4",
+                Some(&dataset.name),
+                name,
+                None,
+                "train_s",
+                r.train_seconds,
+            ));
+            records.push(Measurement::new(
+                "table4",
+                Some(&dataset.name),
+                name,
+                None,
+                "predict_ms",
+                r.predict_ms,
+            ));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Table 4: training time (s, evaluated sensors) / prediction time (ms per query)",
+        &[
+            "model".into(),
+            "ROAD trn(s)".into(),
+            "ROAD prd(ms)".into(),
+            "MALL trn(s)".into(),
+            "MALL prd(ms)".into(),
+            "NET trn(s)".into(),
+            "NET prd(ms)".into(),
+        ],
+        &rows,
+    );
+    records
+}

@@ -1,0 +1,85 @@
+//! Console tables and JSON records for experiment output.
+
+use crate::Measurement;
+use std::io::Write;
+use std::path::Path;
+
+/// Print a fixed-width table: header row then data rows.
+pub fn print_table(title: &str, header: &[String], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(header));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Append measurements as JSON lines to `results/<experiment>.jsonl`,
+/// creating the directory as needed. Errors are reported, not fatal —
+/// the console table is the primary output.
+pub fn write_records(dir: &Path, experiment: &str, records: &[Measurement]) {
+    let write = || -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{experiment}.jsonl"));
+        let mut file = std::fs::File::create(&path)?;
+        for r in records {
+            let line = serde_json::to_string(r).expect("measurements always serialise");
+            writeln!(file, "{line}")?;
+        }
+        eprintln!("[records] {} rows -> {}", records.len(), path.display());
+        Ok(())
+    };
+    if let Err(e) = write() {
+        eprintln!("[records] could not write {experiment} records: {e}");
+    }
+}
+
+/// Format seconds compactly (µs/ms/s).
+pub fn fmt_seconds(s: f64) -> String {
+    if s < 1e-3 {
+        format!("{:.1}µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{s:.2}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_seconds_ranges() {
+        assert_eq!(fmt_seconds(0.0000005), "0.5µs");
+        assert_eq!(fmt_seconds(0.0025), "2.50ms");
+        assert_eq!(fmt_seconds(3.5), "3.50s");
+    }
+
+    #[test]
+    fn records_round_trip() {
+        let dir = std::env::temp_dir().join("smiler_test_records");
+        let records =
+            vec![Measurement::new("test", None, "m", None, "v", 1.0)];
+        write_records(&dir, "unit", &records);
+        let content = std::fs::read_to_string(dir.join("unit.jsonl")).unwrap();
+        assert!(content.contains("\"test\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,368 @@
+//! CLI command implementations. Each command returns its report as a
+//! `String` so the logic is unit-testable; `main` only prints.
+
+use crate::args::{ArgError, Args};
+use smiler_baselines::holtwinters::HoltWinters;
+use smiler_baselines::lazyknn::{LazyKnn, LazyKnnConfig};
+use smiler_baselines::linear::{self, LinearConfig};
+use smiler_baselines::SeriesPredictor;
+use smiler_core::eval::{evaluate, EvalConfig};
+use smiler_core::sensor::{SmilerConfig, SmilerForecaster};
+use smiler_core::{PredictorKind, SensorPredictor};
+use smiler_gpu::Device;
+use smiler_timeseries::io;
+use smiler_timeseries::normalize::ZNorm;
+use smiler_timeseries::synthetic::{DatasetKind, SyntheticSpec};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument problem.
+    Args(ArgError),
+    /// Series I/O problem.
+    Io(io::IoError),
+    /// Anything else worth explaining.
+    Other(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Io(e) => write!(f, "{e}"),
+            CliError::Other(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+impl From<io::IoError> for CliError {
+    fn from(e: io::IoError) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+smiler — semi-lazy time series prediction for sensors (SIGMOD'15 reproduction)
+
+USAGE:
+  smiler forecast --input <file> [--column <name>] [--horizons 1,6]
+                  [--predictor gp|ar] [--interval]
+  smiler evaluate --input <file> [--column <name>] [--steps 50]
+                  [--horizons 1,5,10] [--models smiler-gp,smiler-ar,lazyknn,...]
+  smiler generate --dataset road|mall|net [--days 14] [--seed 7]
+  smiler info
+
+Series files are one-value-per-line or CSV (use --column for a named CSV
+column). Forecasts are printed in the input's units.
+";
+
+/// Dispatch a parsed command line.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    if args.switch("help") {
+        return Ok(USAGE.to_string());
+    }
+    match args.command.as_deref() {
+        Some("forecast") => forecast(args),
+        Some("evaluate") => evaluate_cmd(args),
+        Some("generate") => generate(args),
+        Some("info") => Ok(info()),
+        Some(other) => Err(CliError::Other(format!("unknown command {other:?}\n\n{USAGE}"))),
+        None => Ok(USAGE.to_string()),
+    }
+}
+
+fn load_series(args: &Args) -> Result<Vec<f64>, CliError> {
+    let path = args.require("input")?;
+    Ok(io::read_series_file(path, args.get("column"))?)
+}
+
+/// `smiler forecast`: multi-horizon forecasts off the end of a series.
+fn forecast(args: &Args) -> Result<String, CliError> {
+    let raw = load_series(args)?;
+    let horizons = args.get_list("horizons", &[1, 6])?;
+    let h_max = *horizons.iter().max().expect("non-empty horizons");
+    let predictor_kind = match args.get("predictor").unwrap_or("gp") {
+        "gp" => PredictorKind::GaussianProcess,
+        "ar" => PredictorKind::Aggregation,
+        other => return Err(CliError::Other(format!("unknown predictor {other:?} (gp|ar)"))),
+    };
+
+    let config = SmilerConfig { h_max, ..Default::default() };
+    let d_master = *config.ensemble.elv.iter().max().expect("non-empty ELV");
+    if raw.len() < d_master + h_max + 1 {
+        return Err(CliError::Other(format!(
+            "need at least {} observations for the default configuration, got {}",
+            d_master + h_max + 1,
+            raw.len()
+        )));
+    }
+
+    // Normalise in, de-normalise out: users think in sensor units.
+    let znorm = ZNorm::fit(&raw);
+    let normalised = znorm.apply_all(&raw);
+    let device = Arc::new(Device::default_gpu());
+    let mut predictor = SensorPredictor::new(device, 0, normalised, config, predictor_kind);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "forecasts from t = {} ({} observations read):", raw.len(), raw.len());
+    let want_interval = args.switch("interval");
+    for &h in &horizons {
+        let (mean_z, var_z) = predictor.predict(h);
+        let mean = znorm.invert(mean_z);
+        let sd = znorm.invert_variance(var_z).max(0.0).sqrt();
+        if want_interval {
+            let _ = writeln!(
+                out,
+                "t+{h:<4} {mean:12.4}   95% [{:.4}, {:.4}]",
+                mean - 1.96 * sd,
+                mean + 1.96 * sd
+            );
+        } else {
+            let _ = writeln!(out, "t+{h:<4} {mean:12.4}");
+        }
+    }
+    Ok(out)
+}
+
+/// Model factory for `smiler evaluate`.
+fn make_model(
+    name: &str,
+    device: &Arc<Device>,
+    horizons: &[usize],
+    period: usize,
+) -> Result<Box<dyn SeriesPredictor>, CliError> {
+    let h_max = *horizons.iter().max().expect("non-empty");
+    let lin = LinearConfig { window: 32, horizons: horizons.to_vec(), ..Default::default() };
+    Ok(match name {
+        "smiler-gp" => Box::new(SmilerForecaster::gp(
+            Arc::clone(device),
+            SmilerConfig { h_max, ..Default::default() },
+        )),
+        "smiler-ar" => Box::new(SmilerForecaster::ar(
+            Arc::clone(device),
+            SmilerConfig { h_max, ..Default::default() },
+        )),
+        "lazyknn" => Box::new(LazyKnn::new(LazyKnnConfig::default())),
+        "holtwinters" => Box::new(HoltWinters::full(period)),
+        "onlinesvr" => Box::new(linear::online_svr(lin)),
+        "onlinerr" => Box::new(linear::online_rr(lin)),
+        other => {
+            return Err(CliError::Other(format!(
+                "unknown model {other:?} (smiler-gp|smiler-ar|lazyknn|holtwinters|onlinesvr|onlinerr)"
+            )))
+        }
+    })
+}
+
+/// `smiler evaluate`: continuous-prediction comparison on a user series.
+fn evaluate_cmd(args: &Args) -> Result<String, CliError> {
+    let raw = load_series(args)?;
+    let horizons = args.get_list("horizons", &[1, 5, 10])?;
+    let steps: usize = args.get_or("steps", 50)?;
+    let period: usize = args.get_or("period", 144)?;
+    let model_list = args
+        .get("models")
+        .unwrap_or("smiler-gp,smiler-ar,lazyknn")
+        .split(',')
+        .map(|s| s.trim().to_lowercase())
+        .collect::<Vec<_>>();
+
+    let h_max = *horizons.iter().max().expect("non-empty");
+    if raw.len() <= steps + h_max + 1 {
+        return Err(CliError::Other(format!(
+            "series of {} too short for {steps} steps at horizon {h_max}",
+            raw.len()
+        )));
+    }
+    let (normalised, _) = smiler_timeseries::normalize::z_normalize(&raw);
+
+    let config = EvalConfig { horizons: horizons.clone(), steps };
+    let device = Arc::new(Device::default_gpu());
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:>10} {:>10}   per-horizon MAE",
+        "model", "MAE", "MNLPD"
+    );
+    for name in &model_list {
+        let mut model = make_model(name, &device, &horizons, period)?;
+        let r = evaluate(model.as_mut(), &normalised, &config);
+        let avg_mae: f64 = r.mae.values().sum::<f64>() / r.mae.len() as f64;
+        let avg_nlpd: f64 = r.mnlpd.values().sum::<f64>() / r.mnlpd.len() as f64;
+        let detail: Vec<String> =
+            r.mae.iter().map(|(h, m)| format!("h{h}:{m:.3}")).collect();
+        let _ = writeln!(
+            out,
+            "{:<12} {avg_mae:>10.4} {avg_nlpd:>10.4}   {}",
+            r.name,
+            detail.join(" ")
+        );
+    }
+    Ok(out)
+}
+
+/// `smiler generate`: emit a synthetic sensor series to stdout.
+fn generate(args: &Args) -> Result<String, CliError> {
+    let kind = match args.require("dataset")? {
+        "road" => DatasetKind::Road,
+        "mall" => DatasetKind::Mall,
+        "net" => DatasetKind::Net,
+        other => return Err(CliError::Other(format!("unknown dataset {other:?} (road|mall|net)"))),
+    };
+    let days: usize = args.get_or("days", 14)?;
+    let seed: u64 = args.get_or("seed", 7)?;
+    let dataset = SyntheticSpec { kind, sensors: 1, days, seed }.generate();
+    let mut out = String::with_capacity(dataset.sensors[0].len() * 8);
+    let _ = writeln!(out, "# {} synthetic sensor, {days} days, seed {seed}", dataset.name);
+    for v in dataset.sensors[0].values() {
+        let _ = writeln!(out, "{v}");
+    }
+    Ok(out)
+}
+
+/// `smiler info`: defaults and provenance.
+fn info() -> String {
+    let c = SmilerConfig::default();
+    format!(
+        "SMiLer (Zhou & Tung, SIGMOD 2015) — semi-lazy GP prediction\n\
+         defaults (paper Table 2):\n\
+         \x20 warping width ρ     : {}\n\
+         \x20 window length ω     : {}\n\
+         \x20 EKV (neighbours)    : {:?}\n\
+         \x20 ELV (segment len)   : {:?}\n\
+         \x20 max horizon         : {}\n\
+         device: simulated GTX TITAN (14 SMX, 6 GB) — no GPU required\n",
+        c.rho, c.omega, c.ensemble.ekv, c.ensemble.elv, c.h_max
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+
+    fn args(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    fn write_temp_series(name: &str, n: usize) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(name);
+        let values: Vec<f64> = (0..n)
+            .map(|i| 500.0 + 120.0 * (i as f64 * std::f64::consts::TAU / 48.0).sin())
+            .collect();
+        io::write_series(std::fs::File::create(&path).unwrap(), &values).unwrap();
+        path
+    }
+
+    #[test]
+    fn no_command_prints_usage() {
+        assert!(run(&args(&[])).unwrap().contains("USAGE"));
+        assert!(run(&args(&["--help"])).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(run(&args(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn info_mentions_paper_defaults() {
+        let s = run(&args(&["info"])).unwrap();
+        assert!(s.contains("ρ"));
+        assert!(s.contains("[32, 64, 96]"));
+    }
+
+    #[test]
+    fn generate_emits_values() {
+        let s = run(&args(&["generate", "--dataset", "road", "--days", "4"])).unwrap();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("# ROAD"));
+        assert_eq!(lines.len() - 1, 4 * 144);
+        assert!(lines[1].parse::<f64>().is_ok());
+    }
+
+    #[test]
+    fn forecast_end_to_end() {
+        let path = write_temp_series("smiler_cli_forecast.csv", 400);
+        let s = run(&args(&[
+            "forecast",
+            "--input",
+            path.to_str().unwrap(),
+            "--horizons",
+            "1,6",
+            "--predictor",
+            "ar",
+            "--interval",
+        ]))
+        .unwrap();
+        assert!(s.contains("t+1"), "{s}");
+        assert!(s.contains("t+6"));
+        assert!(s.contains("95%"));
+        // Forecast must be in raw units (hundreds, not z-scores).
+        let value: f64 = s
+            .lines()
+            .find(|l| l.starts_with("t+1"))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(value > 300.0 && value < 700.0, "raw-unit forecast, got {value}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn forecast_rejects_short_series() {
+        let path = write_temp_series("smiler_cli_short.csv", 20);
+        let err = run(&args(&["forecast", "--input", path.to_str().unwrap()])).unwrap_err();
+        assert!(err.to_string().contains("need at least"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn evaluate_compares_models() {
+        let path = write_temp_series("smiler_cli_eval.csv", 500);
+        let s = run(&args(&[
+            "evaluate",
+            "--input",
+            path.to_str().unwrap(),
+            "--steps",
+            "10",
+            "--horizons",
+            "1,3",
+            "--models",
+            "smiler-ar,lazyknn",
+            "--period",
+            "48",
+        ]))
+        .unwrap();
+        assert!(s.contains("SMiLer-AR"), "{s}");
+        assert!(s.contains("LazyKNN"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn unknown_model_is_reported() {
+        let path = write_temp_series("smiler_cli_badmodel.csv", 500);
+        let err = run(&args(&[
+            "evaluate",
+            "--input",
+            path.to_str().unwrap(),
+            "--models",
+            "nonsense",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown model"));
+        let _ = std::fs::remove_file(path);
+    }
+}

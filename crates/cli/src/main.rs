@@ -1,0 +1,28 @@
+//! `smiler` — command-line front end for the SMiLer system.
+//!
+//! ```text
+//! smiler forecast --input sensor.csv --horizons 1,6 --interval
+//! smiler evaluate --input sensor.csv --models smiler-gp,lazyknn
+//! smiler generate --dataset road --days 14 > road.csv
+//! smiler info
+//! ```
+
+mod args;
+mod commands;
+
+fn main() {
+    let parsed = match args::Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", commands::USAGE);
+            std::process::exit(2);
+        }
+    };
+    match commands::run(&parsed) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

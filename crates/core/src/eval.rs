@@ -1,0 +1,299 @@
+//! Continuous-prediction evaluation (paper §6.3.1).
+//!
+//! Protocol: cut a leave-out segment off the end of each series, train on
+//! the prefix, then walk the segment step by step — at every step predict
+//! all requested horizons, then reveal the next true value. MAE and MNLPD
+//! are computed per horizon over all scored predictions, exactly the
+//! quantities plotted in Figures 9–11.
+
+use smiler_baselines::SeriesPredictor;
+use smiler_linalg::stats;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Evaluation configuration.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// Horizons to score (the paper plots h ∈ {1, 5, 10, 15, 20, 25, 30}).
+    pub horizons: Vec<usize>,
+    /// Continuous prediction steps (the paper uses 200).
+    pub steps: usize,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig { horizons: vec![1, 5, 10, 15, 20, 25, 30], steps: 200 }
+    }
+}
+
+/// Result of evaluating one predictor on one series.
+#[derive(Debug, Clone)]
+pub struct EvalResult {
+    /// Predictor display name.
+    pub name: String,
+    /// Mean absolute error per horizon.
+    pub mae: BTreeMap<usize, f64>,
+    /// Mean negative log predictive density per horizon.
+    pub mnlpd: BTreeMap<usize, f64>,
+    /// Empirical coverage of the 95% predictive interval per horizon
+    /// (PICP): the fraction of truths inside `mean ± 1.96σ`. A calibrated
+    /// model scores ≈ 0.95; the MNLPD blow-ups of Fig 9(d) correspond to
+    /// coverage collapsing here.
+    pub coverage95: BTreeMap<usize, f64>,
+    /// Mean 95% interval width per horizon (sharpness; meaningful together
+    /// with coverage).
+    pub interval_width: BTreeMap<usize, f64>,
+    /// Wall-clock seconds spent in `train`.
+    pub train_seconds: f64,
+    /// Wall-clock milliseconds per `predict` call.
+    pub predict_ms: f64,
+}
+
+/// Evaluate `predictor` on `series` with the continuous protocol.
+///
+/// # Panics
+/// Panics if the series is too short for the requested steps + horizons.
+pub fn evaluate(
+    predictor: &mut dyn SeriesPredictor,
+    series: &[f64],
+    config: &EvalConfig,
+) -> EvalResult {
+    let h_max = *config.horizons.iter().max().expect("at least one horizon");
+    let needed = config.steps + h_max;
+    assert!(
+        series.len() > needed + 1,
+        "series of {} too short for {} steps at h_max {}",
+        series.len(),
+        config.steps,
+        h_max
+    );
+    let split = series.len() - needed;
+
+    let t0 = Instant::now();
+    predictor.train(&series[..split]);
+    let train_seconds = t0.elapsed().as_secs_f64();
+
+    // recorded[h] = (means, vars, truths)
+    type Recorded = (Vec<f64>, Vec<f64>, Vec<f64>);
+    let mut recorded: BTreeMap<usize, Recorded> = config
+        .horizons
+        .iter()
+        .map(|&h| (h, (Vec::new(), Vec::new(), Vec::new())))
+        .collect();
+
+    let mut predict_seconds = 0.0;
+    let mut predict_calls = 0usize;
+    for step in 0..config.steps {
+        let now = split + step; // index of the next unobserved value
+        for &h in &config.horizons {
+            let t = Instant::now();
+            let (mean, var) = predictor.predict(h);
+            predict_seconds += t.elapsed().as_secs_f64();
+            predict_calls += 1;
+            let truth = series[now + h - 1];
+            let slot = recorded.get_mut(&h).expect("configured horizon");
+            slot.0.push(mean);
+            slot.1.push(var.max(1e-12));
+            slot.2.push(truth);
+        }
+        predictor.observe(series[now]);
+    }
+
+    let mut mae = BTreeMap::new();
+    let mut mnlpd = BTreeMap::new();
+    let mut coverage95 = BTreeMap::new();
+    let mut interval_width = BTreeMap::new();
+    for (h, (means, vars, truths)) in &recorded {
+        mae.insert(*h, stats::mean_absolute_error(means, truths));
+        mnlpd.insert(*h, stats::mean_nlpd(means, vars, truths));
+        let inside = means
+            .iter()
+            .zip(vars)
+            .zip(truths)
+            .filter(|((m, v), t)| (*t - *m).abs() <= 1.96 * v.sqrt())
+            .count();
+        coverage95.insert(*h, inside as f64 / means.len().max(1) as f64);
+        let width: f64 =
+            vars.iter().map(|v| 2.0 * 1.96 * v.sqrt()).sum::<f64>() / vars.len().max(1) as f64;
+        interval_width.insert(*h, width);
+    }
+
+    EvalResult {
+        name: predictor.name().to_string(),
+        mae,
+        mnlpd,
+        coverage95,
+        interval_width,
+        train_seconds,
+        predict_ms: predict_seconds * 1000.0 / predict_calls.max(1) as f64,
+    }
+}
+
+/// Average several per-sensor [`EvalResult`]s (same predictor, same
+/// horizons) into one row — how the paper aggregates across a dataset's
+/// sensors.
+///
+/// # Panics
+/// Panics on an empty slice or inconsistent horizon sets.
+pub fn average_results(results: &[EvalResult]) -> EvalResult {
+    assert!(!results.is_empty(), "cannot average zero results");
+    let horizons: Vec<usize> = results[0].mae.keys().copied().collect();
+    let mut mae = BTreeMap::new();
+    let mut mnlpd = BTreeMap::new();
+    let mut coverage95 = BTreeMap::new();
+    let mut interval_width = BTreeMap::new();
+    let field =
+        |pick: &dyn Fn(&EvalResult) -> &BTreeMap<usize, f64>, h: usize| -> f64 {
+            stats::mean(
+                &results
+                    .iter()
+                    .map(|r| *pick(r).get(&h).expect("consistent horizons"))
+                    .collect::<Vec<_>>(),
+            )
+        };
+    for &h in &horizons {
+        mae.insert(h, field(&|r| &r.mae, h));
+        mnlpd.insert(h, field(&|r| &r.mnlpd, h));
+        coverage95.insert(h, field(&|r| &r.coverage95, h));
+        interval_width.insert(h, field(&|r| &r.interval_width, h));
+    }
+    EvalResult {
+        name: results[0].name.clone(),
+        mae,
+        mnlpd,
+        coverage95,
+        interval_width,
+        train_seconds: results.iter().map(|r| r.train_seconds).sum(),
+        predict_ms: stats::mean(&results.iter().map(|r| r.predict_ms).collect::<Vec<_>>()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A perfect oracle for a known series (honest unit variance).
+    struct Oracle {
+        series: Vec<f64>,
+        seen: usize,
+    }
+
+    impl SeriesPredictor for Oracle {
+        fn name(&self) -> &'static str {
+            "Oracle"
+        }
+        fn is_online(&self) -> bool {
+            true
+        }
+        fn train(&mut self, history: &[f64]) {
+            self.seen = history.len();
+        }
+        fn observe(&mut self, _value: f64) {
+            self.seen += 1;
+        }
+        fn predict(&mut self, h: usize) -> (f64, f64) {
+            (self.series[self.seen + h - 1], 1.0)
+        }
+    }
+
+    /// Always predicts zero with overconfident variance.
+    struct Zero;
+    impl SeriesPredictor for Zero {
+        fn name(&self) -> &'static str {
+            "Zero"
+        }
+        fn is_online(&self) -> bool {
+            false
+        }
+        fn train(&mut self, _h: &[f64]) {}
+        fn observe(&mut self, _v: f64) {}
+        fn predict(&mut self, _h: usize) -> (f64, f64) {
+            (0.0, 0.01)
+        }
+    }
+
+    fn series() -> Vec<f64> {
+        (0..300).map(|i| (i as f64 * 0.3).sin() + 1.0).collect()
+    }
+
+    fn config() -> EvalConfig {
+        EvalConfig { horizons: vec![1, 3], steps: 20 }
+    }
+
+    #[test]
+    fn oracle_scores_zero_mae() {
+        let s = series();
+        let mut oracle = Oracle { series: s.clone(), seen: 0 };
+        let r = evaluate(&mut oracle, &s, &config());
+        assert!(r.mae[&1] < 1e-12);
+        assert!(r.mae[&3] < 1e-12);
+        // NLPD of a perfect mean with unit variance: ½ln(2π).
+        assert!((r.mnlpd[&1] - 0.9189385332046727).abs() < 1e-9);
+        // A perfect mean is always inside any interval.
+        assert_eq!(r.coverage95[&1], 1.0);
+        // Unit variance → interval width 2·1.96.
+        assert!((r.interval_width[&1] - 3.92).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_predictor_scores_poorly() {
+        let s = series();
+        let mut zero = Zero;
+        let r = evaluate(&mut zero, &s, &config());
+        assert!(r.mae[&1] > 0.5);
+        // Overconfidence is punished by MNLPD.
+        assert!(r.mnlpd[&1] > 5.0);
+        // And visible as collapsed coverage.
+        assert!(r.coverage95[&1] < 0.5);
+    }
+
+    #[test]
+    fn counts_all_steps() {
+        let s = series();
+        let mut oracle = Oracle { series: s.clone(), seen: 0 };
+        struct Counter<'a>(&'a mut usize, Oracle);
+        impl SeriesPredictor for Counter<'_> {
+            fn name(&self) -> &'static str {
+                "Counter"
+            }
+            fn is_online(&self) -> bool {
+                true
+            }
+            fn train(&mut self, h: &[f64]) {
+                self.1.train(h)
+            }
+            fn observe(&mut self, v: f64) {
+                self.1.observe(v)
+            }
+            fn predict(&mut self, h: usize) -> (f64, f64) {
+                *self.0 += 1;
+                self.1.predict(h)
+            }
+        }
+        let mut calls = 0usize;
+        {
+            let mut c = Counter(&mut calls, Oracle { series: s.clone(), seen: 0 });
+            evaluate(&mut c, &s, &config());
+        }
+        let _ = &mut oracle;
+        assert_eq!(calls, 20 * 2);
+    }
+
+    #[test]
+    fn averaging_is_elementwise() {
+        let s = series();
+        let r1 = evaluate(&mut Oracle { series: s.clone(), seen: 0 }, &s, &config());
+        let r2 = evaluate(&mut Zero, &s, &config());
+        // Pretend both are the same predictor for averaging purposes.
+        let avg = average_results(&[r1.clone(), r2.clone()]);
+        let expect = (r1.mae[&1] + r2.mae[&1]) / 2.0;
+        assert!((avg.mae[&1] - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn short_series_rejected() {
+        let s = vec![0.0; 10];
+        evaluate(&mut Zero, &s, &config());
+    }
+}

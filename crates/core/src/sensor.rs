@@ -1,0 +1,570 @@
+//! The per-sensor SMiLer predictor: Search Step + Prediction Step (Fig. 3).
+//!
+//! One [`SensorPredictor`] owns the sensor's [`SmilerIndex`], an ensemble
+//! matrix per horizon, and the per-cell GP hyperparameter state. Each
+//! prediction step runs ONE suffix kNN search (shared by every ensemble
+//! cell and horizon — the whole point of the Suffix kNN formulation), then
+//! instantiates the abstract predictors on prefix-k subsets of the results.
+
+use crate::ensemble::{EnsembleConfig, EnsembleMatrix};
+use crate::predictor::{ArPredictor, GpCellPredictor, KnnData, PredictorKind};
+use smiler_gp::TrainConfig;
+use smiler_gpu::Device;
+use smiler_index::{IndexParams, SearchOutput, SmilerIndex, ThresholdStrategy};
+use smiler_linalg::Matrix;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Configuration of one SMiLer sensor predictor (paper Table 2 defaults).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SmilerConfig {
+    /// Sakoe-Chiba warping width ρ.
+    pub rho: usize,
+    /// Window length ω.
+    pub omega: usize,
+    /// Ensemble configuration (EKV × ELV and mode).
+    pub ensemble: EnsembleConfig,
+    /// Largest horizon that will ever be requested; kNN candidates keep
+    /// `h_max` labels of headroom so every neighbour is usable at every
+    /// horizon.
+    pub h_max: usize,
+    /// GP hyperparameter training configuration.
+    pub train: TrainConfig,
+    /// Retrain GP hyperparameters every this many steps (1 = paper).
+    pub retrain_every: usize,
+    /// Filter threshold strategy of the index.
+    pub threshold: ThresholdStrategy,
+}
+
+impl Default for SmilerConfig {
+    fn default() -> Self {
+        SmilerConfig {
+            rho: 8,
+            omega: 16,
+            ensemble: EnsembleConfig::default(),
+            h_max: 30,
+            train: TrainConfig::default(),
+            retrain_every: 1,
+            threshold: ThresholdStrategy::ExactKBest,
+        }
+    }
+}
+
+impl SmilerConfig {
+    /// A small configuration for unit tests and doctests.
+    pub fn small_for_tests() -> Self {
+        SmilerConfig {
+            rho: 3,
+            omega: 4,
+            ensemble: EnsembleConfig {
+                ekv: vec![3, 5],
+                elv: vec![8, 16],
+                mode: crate::ensemble::EnsembleMode::Full,
+            },
+            h_max: 8,
+            train: TrainConfig { full_iters: 10, online_steps: 2 },
+            retrain_every: 1,
+            threshold: ThresholdStrategy::ExactKBest,
+        }
+    }
+
+    fn index_params(&self) -> IndexParams {
+        IndexParams {
+            rho: self.rho,
+            omega: self.omega,
+            lengths: self.ensemble.elv.clone(),
+            k_max: *self.ensemble.ekv.iter().max().expect("EKV non-empty"),
+        }
+    }
+}
+
+/// Per-cell predictions of one step: `None` for asleep or failed cells.
+type CellPredictions = Vec<Option<(f64, f64)>>;
+
+/// Per-cell predictor state.
+#[derive(Debug, Clone)]
+enum CellState {
+    Ar,
+    Gp(GpCellPredictor),
+}
+
+/// Ensemble + cell state for one horizon.
+#[derive(Debug)]
+struct HorizonState {
+    ensemble: EnsembleMatrix,
+    cells: Vec<CellState>,
+    /// Predictions awaiting their realised value: (absolute target index,
+    /// per-cell predictions) — consumed by the λ update when the value
+    /// arrives.
+    pending: VecDeque<(usize, CellPredictions)>,
+}
+
+/// The per-sensor semi-lazy predictor.
+#[derive(Debug)]
+pub struct SensorPredictor {
+    device: Arc<Device>,
+    sensor_id: usize,
+    config: SmilerConfig,
+    kind: PredictorKind,
+    index: SmilerIndex,
+    /// Search result reused across horizons within one step.
+    cache: Option<(usize, SearchOutput)>,
+    horizons: HashMap<usize, HorizonState>,
+}
+
+impl SensorPredictor {
+    /// Build a predictor over a sensor's (normalised) history.
+    ///
+    /// # Panics
+    /// Panics if the history is shorter than the master query plus the
+    /// horizon headroom.
+    pub fn new(
+        device: Arc<Device>,
+        sensor_id: usize,
+        history: Vec<f64>,
+        config: SmilerConfig,
+        kind: PredictorKind,
+    ) -> Self {
+        let params = config.index_params();
+        let index = SmilerIndex::build(&device, history, params)
+            .with_threshold(config.threshold);
+        SensorPredictor { device, sensor_id, config, kind, index, cache: None, horizons: HashMap::new() }
+    }
+
+    /// Sensor identifier.
+    pub fn sensor_id(&self) -> usize {
+        self.sensor_id
+    }
+
+    /// The sensor history (normalised).
+    pub fn history(&self) -> &[f64] {
+        self.index.series()
+    }
+
+    /// Device memory footprint of the sensor's index (Fig 12c).
+    pub fn device_bytes(&self) -> usize {
+        self.index.device_bytes()
+    }
+
+    /// The predictor configuration.
+    pub fn config(&self) -> &SmilerConfig {
+        &self.config
+    }
+
+    /// Which abstract predictor instantiates the cells.
+    pub fn kind(&self) -> PredictorKind {
+        self.kind
+    }
+
+    /// Per-horizon adaptive state for [`crate::snapshot`]: `(h, ensemble
+    /// state, per-cell GP hyperparameters)`.
+    pub(crate) fn horizon_snapshots(
+        &self,
+    ) -> Vec<(usize, crate::ensemble::EnsembleState, Vec<Option<smiler_gp::Hyperparams>>)> {
+        self.horizons
+            .iter()
+            .map(|(&h, state)| {
+                let hypers = state
+                    .cells
+                    .iter()
+                    .map(|c| match c {
+                        CellState::Ar => None,
+                        CellState::Gp(cell) => cell.hyper(),
+                    })
+                    .collect();
+                (h, state.ensemble.snapshot(), hypers)
+            })
+            .collect()
+    }
+
+    /// Install restored per-horizon state (ensemble + GP hyperparameters);
+    /// the snapshot's pending predictions are intentionally not restored.
+    pub(crate) fn install_horizon_snapshots(
+        &mut self,
+        states: HashMap<usize, (EnsembleMatrix, Vec<Option<smiler_gp::Hyperparams>>)>,
+    ) {
+        for (h, (ensemble, hypers)) in states {
+            let state = self.horizon_state(h);
+            assert_eq!(
+                hypers.len(),
+                state.cells.len(),
+                "snapshot cell count mismatch at horizon {h}"
+            );
+            state.ensemble = ensemble;
+            for (cell, hyper) in state.cells.iter_mut().zip(hypers) {
+                if let CellState::Gp(gp) = cell {
+                    gp.set_hyper(hyper);
+                }
+            }
+            state.pending.clear();
+        }
+    }
+
+    /// Candidate-end bound this sensor's searches use (`len − h_max`).
+    pub fn search_max_end(&self) -> usize {
+        self.index.series().len().saturating_sub(self.config.h_max)
+    }
+
+    /// Mutable access to the sensor's index (fleet-batched searching).
+    pub(crate) fn index_mut(&mut self) -> &mut SmilerIndex {
+        &mut self.index
+    }
+
+    /// Install an externally computed search result (from
+    /// [`smiler_index::fleet_search`]) as this step's cached search.
+    pub(crate) fn install_search(&mut self, out: SearchOutput) {
+        let len = self.index.series().len();
+        self.cache = Some((len, out));
+    }
+
+    /// Run (or reuse) this step's suffix kNN search.
+    fn ensure_search(&mut self) -> SearchOutput {
+        let len = self.index.series().len();
+        if let Some((at, out)) = &self.cache {
+            if *at == len {
+                return out.clone();
+            }
+        }
+        let max_end = len.saturating_sub(self.config.h_max);
+        let out = self.index.search(&self.device, max_end);
+        self.cache = Some((len, out.clone()));
+        out
+    }
+
+    fn horizon_state(&mut self, h: usize) -> &mut HorizonState {
+        let config = &self.config;
+        let kind = self.kind;
+        self.horizons.entry(h).or_insert_with(|| {
+            let ensemble = EnsembleMatrix::new(config.ensemble.clone());
+            let cells = (0..config.ensemble.cells())
+                .map(|_| match kind {
+                    PredictorKind::Aggregation => CellState::Ar,
+                    PredictorKind::GaussianProcess => CellState::Gp(GpCellPredictor::new(
+                        config.train.clone(),
+                        config.retrain_every,
+                    )),
+                })
+                .collect();
+            HorizonState { ensemble, cells, pending: VecDeque::new() }
+        })
+    }
+
+    /// Assemble the kNN data of ensemble cell `(k, d)` at horizon `h` from
+    /// the shared search output.
+    fn knn_data(&self, search: &SearchOutput, k: usize, d_idx: usize, h: usize) -> KnnData {
+        let d = self.config.ensemble.elv[d_idx];
+        let series = self.index.series();
+        let neighbors = &search.neighbors[d_idx];
+        let take = k.min(neighbors.len());
+        let mut rows = Vec::with_capacity(take);
+        let mut y = Vec::with_capacity(take);
+        for nb in &neighbors[..take] {
+            let t = nb.start;
+            // Labels exist by construction: t + d ≤ len − h_max ≤ len − h.
+            rows.push(&series[t..t + d]);
+            y.push(series[t + d - 1 + h]);
+        }
+        let x = Matrix::from_fn(take, d, |i, j| rows[i][j]);
+        let x0 = series[series.len() - d..].to_vec();
+        KnnData { x, y, x0 }
+    }
+
+    /// Predict `N(mean, variance)` for the value `h` steps past the last
+    /// observation. Runs the Search Step once per time step (cached across
+    /// horizons) and the Prediction Step per ensemble cell.
+    ///
+    /// # Panics
+    /// Panics if `h` is zero or exceeds the configured `h_max`.
+    pub fn predict(&mut self, h: usize) -> (f64, f64) {
+        assert!(h >= 1 && h <= self.config.h_max, "horizon {h} out of configured range");
+        let search = self.ensure_search();
+        let n_elv = self.config.ensemble.elv.len();
+        let ekv = self.config.ensemble.ekv.clone();
+        let target = self.index.series().len() - 1 + h;
+
+        // Per-cell predictions (row-major over EKV × ELV, matching
+        // EnsembleConfig::cell).
+        let mut cell_data: Vec<Option<KnnData>> = Vec::with_capacity(ekv.len() * n_elv);
+        {
+            let state = self.horizons.get(&h);
+            for (ci, &k) in ekv.iter().enumerate() {
+                for d_idx in 0..n_elv {
+                    let idx = ci * n_elv + d_idx;
+                    let awake = state.map_or(true, |s| s.ensemble.is_awake(idx));
+                    cell_data.push(if awake {
+                        Some(self.knn_data(&search, k, d_idx, h))
+                    } else {
+                        None
+                    });
+                }
+            }
+        }
+
+        let state = self.horizon_state(h);
+        let mut predictions: Vec<Option<(f64, f64)>> = Vec::with_capacity(cell_data.len());
+        for (idx, data) in cell_data.into_iter().enumerate() {
+            let p = match (data, &mut state.cells[idx]) {
+                (Some(data), CellState::Ar) => ArPredictor.predict(&data),
+                (Some(data), CellState::Gp(cell)) => cell.predict(&data),
+                (None, _) => None,
+            };
+            predictions.push(p);
+        }
+
+        let fused = state.ensemble.fuse(&predictions);
+        // Replace any stale pending entry for the same target (the caller
+        // predicted this horizon twice in one step).
+        state.pending.retain(|(t, _)| *t != target);
+        state.pending.push_back((target, predictions));
+
+        fused.unwrap_or_else(|| {
+            let last = self.index.series().last().copied().unwrap_or(0.0);
+            (last, 1.0)
+        })
+    }
+
+    /// Absorb the newly observed value: score pending predictions whose
+    /// target just realised (the λ update of Eqn 8–9), then advance the
+    /// index (Remark 1 reuse).
+    pub fn observe(&mut self, value: f64) {
+        let arriving = self.index.series().len();
+        for state in self.horizons.values_mut() {
+            // Drop stale entries, score the matching one.
+            while let Some((t, _)) = state.pending.front() {
+                if *t < arriving {
+                    state.pending.pop_front();
+                } else {
+                    break;
+                }
+            }
+            if let Some((t, _)) = state.pending.front() {
+                if *t == arriving {
+                    let (_, preds) = state.pending.pop_front().expect("front exists");
+                    state.ensemble.update(value, &preds);
+                }
+            }
+        }
+        self.index.advance(&self.device, value);
+        self.cache = None;
+    }
+
+    /// Current ensemble weights at horizon `h` (diagnostics; `None` if the
+    /// horizon has not been predicted yet).
+    pub fn weights(&self, h: usize) -> Option<Vec<f64>> {
+        self.horizons
+            .get(&h)
+            .map(|s| (0..s.ensemble.config().cells()).map(|i| s.ensemble.weight(i)).collect())
+    }
+}
+
+/// Adapter: a [`SensorPredictor`] as a [`smiler_baselines::SeriesPredictor`]
+/// so the evaluation harness drives SMiLer and the competitors through one
+/// interface.
+pub struct SmilerForecaster {
+    device: Arc<Device>,
+    config: SmilerConfig,
+    kind: PredictorKind,
+    inner: Option<SensorPredictor>,
+    fallback_history: Vec<f64>,
+}
+
+impl SmilerForecaster {
+    /// SMiLer with the GP predictor.
+    pub fn gp(device: Arc<Device>, config: SmilerConfig) -> Self {
+        SmilerForecaster {
+            device,
+            config,
+            kind: PredictorKind::GaussianProcess,
+            inner: None,
+            fallback_history: Vec::new(),
+        }
+    }
+
+    /// SMiLer with the aggregation predictor.
+    pub fn ar(device: Arc<Device>, config: SmilerConfig) -> Self {
+        SmilerForecaster {
+            device,
+            config,
+            kind: PredictorKind::Aggregation,
+            inner: None,
+            fallback_history: Vec::new(),
+        }
+    }
+}
+
+impl smiler_baselines::SeriesPredictor for SmilerForecaster {
+    fn name(&self) -> &'static str {
+        match self.kind {
+            PredictorKind::GaussianProcess => "SMiLer-GP",
+            PredictorKind::Aggregation => "SMiLer-AR",
+        }
+    }
+
+    fn is_online(&self) -> bool {
+        true
+    }
+
+    fn train(&mut self, history: &[f64]) {
+        let d_master = *self.config.ensemble.elv.iter().max().expect("ELV non-empty");
+        if history.len() < d_master + self.config.h_max + 1 {
+            self.inner = None;
+            self.fallback_history = history.to_vec();
+            return;
+        }
+        self.inner = Some(SensorPredictor::new(
+            Arc::clone(&self.device),
+            0,
+            history.to_vec(),
+            self.config.clone(),
+            self.kind,
+        ));
+    }
+
+    fn observe(&mut self, value: f64) {
+        match &mut self.inner {
+            Some(p) => p.observe(value),
+            None => self.fallback_history.push(value),
+        }
+    }
+
+    fn predict(&mut self, h: usize) -> (f64, f64) {
+        match &mut self.inner {
+            Some(p) => p.predict(h),
+            None => (self.fallback_history.last().copied().unwrap_or(0.0), 1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn periodic_history(n: usize) -> Vec<f64> {
+        // Periodic base plus deterministic noise: exact periodicity would
+        // make every ensemble cell predict identically (and weights would
+        // rightly stay uniform), so the noise is what differentiates cells.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        (0..n)
+            .map(|i| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let noise = (state % 1000) as f64 / 1000.0 - 0.5;
+                (i as f64 * std::f64::consts::TAU / 24.0).sin()
+                    + 0.3 * (i as f64 * std::f64::consts::TAU / 8.0).sin()
+                    + 0.15 * noise
+            })
+            .collect()
+    }
+
+    fn make(kind: PredictorKind) -> (SensorPredictor, Vec<f64>) {
+        let device = Arc::new(Device::default_gpu());
+        let history = periodic_history(400);
+        let p = SensorPredictor::new(device, 7, history.clone(), SmilerConfig::small_for_tests(), kind);
+        (p, history)
+    }
+
+    #[test]
+    fn ar_predicts_periodic_series() {
+        let (mut p, _) = make(PredictorKind::Aggregation);
+        for h in [1usize, 4, 8] {
+            let (mean, var) = p.predict(h);
+            let truth = ((399 + h) as f64 * std::f64::consts::TAU / 24.0).sin()
+                + 0.3 * (((399 + h) as f64) * std::f64::consts::TAU / 8.0).sin();
+            assert!((mean - truth).abs() < 0.4, "h={h}: {mean} vs {truth}");
+            assert!(var > 0.0);
+        }
+    }
+
+    #[test]
+    fn gp_predicts_periodic_series() {
+        let (mut p, _) = make(PredictorKind::GaussianProcess);
+        let (mean, var) = p.predict(1);
+        let truth = (400.0 * std::f64::consts::TAU / 24.0).sin()
+            + 0.3 * (400.0 * std::f64::consts::TAU / 8.0).sin();
+        assert!((mean - truth).abs() < 0.4, "{mean} vs {truth}");
+        assert!(var > 0.0 && var.is_finite());
+    }
+
+    #[test]
+    fn search_is_cached_across_horizons() {
+        let (mut p, _) = make(PredictorKind::Aggregation);
+        p.predict(1);
+        let launches_after_first = p.device.kernel_launches();
+        p.predict(2);
+        p.predict(3);
+        assert_eq!(
+            p.device.kernel_launches(),
+            launches_after_first,
+            "additional horizons must reuse the cached search"
+        );
+        // A new observation invalidates the cache.
+        p.observe(0.1);
+        p.predict(1);
+        assert!(p.device.kernel_launches() > launches_after_first);
+    }
+
+    #[test]
+    fn continuous_prediction_updates_weights() {
+        let (mut p, history) = make(PredictorKind::Aggregation);
+        let mut future = periodic_history(420);
+        future.drain(..history.len());
+        assert!(p.weights(1).is_none());
+        for &v in future.iter().take(10) {
+            p.predict(1);
+            p.observe(v);
+        }
+        let w = p.weights(1).expect("weights exist after predictions");
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Self-adaptive tuning must have moved the weights off uniform.
+        let uniform = 1.0 / w.len() as f64;
+        assert!(w.iter().any(|&wi| (wi - uniform).abs() > 1e-6));
+    }
+
+    #[test]
+    fn pending_predictions_consumed_in_order() {
+        let (mut p, _) = make(PredictorKind::Aggregation);
+        // Predict h=2 now; its λ update must fire exactly when the value
+        // two steps ahead arrives.
+        p.predict(2);
+        let before = p.weights(2).unwrap();
+        p.observe(0.0); // target not yet realised
+        assert_eq!(p.weights(2).unwrap(), before);
+        p.observe(0.0); // target realises now
+        let after = p.weights(2).unwrap();
+        assert_ne!(after, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of configured range")]
+    fn horizon_zero_rejected() {
+        let (mut p, _) = make(PredictorKind::Aggregation);
+        p.predict(0);
+    }
+
+    #[test]
+    fn forecaster_adapter_handles_short_history() {
+        use smiler_baselines::SeriesPredictor as _;
+        let device = Arc::new(Device::default_gpu());
+        let mut f = SmilerForecaster::ar(device, SmilerConfig::small_for_tests());
+        f.train(&[1.0, 2.0, 3.0]);
+        assert_eq!(f.predict(1), (3.0, 1.0));
+        f.observe(4.0);
+        assert_eq!(f.predict(1), (4.0, 1.0));
+    }
+
+    #[test]
+    fn forecaster_adapter_names() {
+        use smiler_baselines::SeriesPredictor as _;
+        let device = Arc::new(Device::default_gpu());
+        assert_eq!(
+            SmilerForecaster::gp(Arc::clone(&device), SmilerConfig::small_for_tests()).name(),
+            "SMiLer-GP"
+        );
+        assert_eq!(
+            SmilerForecaster::ar(device, SmilerConfig::small_for_tests()).name(),
+            "SMiLer-AR"
+        );
+    }
+}

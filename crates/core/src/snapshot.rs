@@ -1,0 +1,214 @@
+//! Snapshot & restore: persist a sensor predictor's *learned* state across
+//! restarts.
+//!
+//! SMiLer has no trained model to save — that is the point of semi-lazy
+//! learning — but during continuous operation it accumulates adaptive state
+//! worth keeping: the ensemble weights λ (and their sleep schedules,
+//! §5.1.2) and the warm-started GP hyperparameters per cell and horizon
+//! (§5.2.2). A restart that discards those re-pays the cold-start cost and
+//! forgets which `(k, d)` cells were working. A [`SensorSnapshot`]
+//! round-trips all of it through JSON; the index itself is deterministic in
+//! the history and is rebuilt on restore.
+//!
+//! Pending (not-yet-scored) predictions are deliberately dropped: their
+//! target values arrive after the restart and scoring them against a
+//! possibly different request stream would corrupt the weights.
+
+use crate::ensemble::{EnsembleMatrix, EnsembleState};
+use crate::predictor::PredictorKind;
+use crate::sensor::{SensorPredictor, SmilerConfig};
+use smiler_gp::Hyperparams;
+use smiler_gpu::Device;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Adaptive state of one horizon's ensemble.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct HorizonSnapshot {
+    /// The horizon `h`.
+    pub horizon: usize,
+    /// Ensemble weights and sleep schedules.
+    pub ensemble: EnsembleState,
+    /// Per-cell GP hyperparameters (`None` for untrained or AR cells).
+    pub gp_hypers: Vec<Option<Hyperparams>>,
+}
+
+/// Everything needed to reconstruct a [`SensorPredictor`] with its learned
+/// state.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SensorSnapshot {
+    /// Sensor identifier.
+    pub sensor_id: usize,
+    /// Full normalised history (the index is rebuilt from it).
+    pub history: Vec<f64>,
+    /// Predictor configuration.
+    pub config: SmilerConfig,
+    /// AR or GP.
+    pub kind: PredictorKind,
+    /// Per-horizon adaptive state.
+    pub horizons: Vec<HorizonSnapshot>,
+}
+
+impl SensorSnapshot {
+    /// Serialise to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot always serialises")
+    }
+
+    /// Deserialise from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+impl SensorPredictor {
+    /// Capture a restorable snapshot of this predictor.
+    pub fn snapshot(&self) -> SensorSnapshot {
+        let mut horizons: Vec<HorizonSnapshot> = self
+            .horizon_snapshots()
+            .into_iter()
+            .map(|(horizon, ensemble, gp_hypers)| HorizonSnapshot {
+                horizon,
+                ensemble,
+                gp_hypers,
+            })
+            .collect();
+        horizons.sort_by_key(|h| h.horizon);
+        SensorSnapshot {
+            sensor_id: self.sensor_id(),
+            history: self.history().to_vec(),
+            config: self.config().clone(),
+            kind: self.kind(),
+            horizons,
+        }
+    }
+
+    /// Reconstruct a predictor from a snapshot: rebuild the index over the
+    /// saved history, then reinstall the adaptive state.
+    ///
+    /// # Panics
+    /// Panics if the snapshot is internally inconsistent (cell counts not
+    /// matching its own configuration).
+    pub fn restore(device: Arc<Device>, snapshot: SensorSnapshot) -> Self {
+        let mut predictor = SensorPredictor::new(
+            device,
+            snapshot.sensor_id,
+            snapshot.history,
+            snapshot.config.clone(),
+            snapshot.kind,
+        );
+        let mut states = HashMap::new();
+        for h in snapshot.horizons {
+            let ensemble =
+                EnsembleMatrix::restore(snapshot.config.ensemble.clone(), h.ensemble);
+            states.insert(h.horizon, (ensemble, h.gp_hypers));
+        }
+        predictor.install_horizon_snapshots(states);
+        predictor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn history() -> Vec<f64> {
+        let mut state = 0xABCD_EF01u64;
+        (0..420)
+            .map(|i| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (i as f64 * std::f64::consts::TAU / 24.0).sin()
+                    + (state % 100) as f64 / 200.0
+            })
+            .collect()
+    }
+
+    fn run_steps(p: &mut SensorPredictor, n: usize) {
+        for i in 0..n {
+            p.predict(1);
+            p.predict(3);
+            p.observe((i as f64 * 0.37).sin());
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let device = Arc::new(Device::default_gpu());
+        let mut p = SensorPredictor::new(
+            Arc::clone(&device),
+            3,
+            history(),
+            SmilerConfig::small_for_tests(),
+            PredictorKind::GaussianProcess,
+        );
+        run_steps(&mut p, 6);
+        let snap = p.snapshot();
+        let json = snap.to_json();
+        let back = SensorSnapshot::from_json(&json).unwrap();
+        assert_eq!(back.sensor_id, 3);
+        assert_eq!(back.history.len(), p.history().len());
+        assert_eq!(back.horizons.len(), 2);
+    }
+
+    #[test]
+    fn restored_predictor_matches_original() {
+        let device = Arc::new(Device::default_gpu());
+        let mut original = SensorPredictor::new(
+            Arc::clone(&device),
+            0,
+            history(),
+            SmilerConfig::small_for_tests(),
+            PredictorKind::GaussianProcess,
+        );
+        run_steps(&mut original, 8);
+        let snap = original.snapshot();
+
+        let mut restored = SensorPredictor::restore(Arc::new(Device::default_gpu()), snap);
+        // Weights must be identical immediately.
+        assert_eq!(original.weights(1), restored.weights(1));
+        assert_eq!(original.weights(3), restored.weights(3));
+        // And predictions must coincide (same history, same hyper state;
+        // the original's pending entries don't affect predict()).
+        let (m0, v0) = original.predict(1);
+        let (m1, v1) = restored.predict(1);
+        assert!((m0 - m1).abs() < 1e-9, "{m0} vs {m1}");
+        assert!((v0 - v1).abs() < 1e-9, "{v0} vs {v1}");
+    }
+
+    #[test]
+    fn restored_predictor_keeps_learning() {
+        let device = Arc::new(Device::default_gpu());
+        let mut p = SensorPredictor::new(
+            Arc::clone(&device),
+            0,
+            history(),
+            SmilerConfig::small_for_tests(),
+            PredictorKind::Aggregation,
+        );
+        run_steps(&mut p, 5);
+        let snap = p.snapshot();
+        let mut restored = SensorPredictor::restore(device, snap);
+        let before = restored.weights(1).unwrap();
+        run_steps(&mut restored, 8);
+        let after = restored.weights(1).unwrap();
+        assert_ne!(before, after, "adaptation must continue after restore");
+        assert!((after.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fresh_predictor_snapshot_is_empty_of_state() {
+        let device = Arc::new(Device::default_gpu());
+        let p = SensorPredictor::new(
+            device,
+            9,
+            history(),
+            SmilerConfig::small_for_tests(),
+            PredictorKind::Aggregation,
+        );
+        let snap = p.snapshot();
+        assert!(snap.horizons.is_empty());
+        assert_eq!(snap.sensor_id, 9);
+    }
+}

@@ -1,0 +1,301 @@
+//! Multi-sensor orchestration: one device, many per-sensor predictors.
+//!
+//! The paper's Fig. 3 shows n sensors sharing one GPU: each has its own
+//! SMiLer index and predictor matrix, and "the SMiLer Index can easily
+//! scale up with multiple sensors, where we only need to create multiple
+//! SMiLer Indexes and invoke more blocks" (§4.4). [`SmilerSystem`] is that
+//! arrangement; it also enforces the device-memory budget that bounds the
+//! number of resident sensors (the Fig 12c capacity experiment).
+
+use crate::predictor::PredictorKind;
+use crate::sensor::{SensorPredictor, SmilerConfig};
+use smiler_gpu::Device;
+use smiler_index::{fleet_search, SmilerIndex};
+use std::sync::Arc;
+
+/// Error returned when a sensor's index does not fit in device memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutOfDeviceMemory {
+    /// Sensor that failed to fit.
+    pub sensor_id: usize,
+    /// Bytes the sensor's index needs.
+    pub needed: usize,
+    /// Bytes still available on the device.
+    pub available: usize,
+}
+
+impl std::fmt::Display for OutOfDeviceMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sensor {} needs {} bytes but only {} remain on the device",
+            self.sensor_id, self.needed, self.available
+        )
+    }
+}
+
+impl std::error::Error for OutOfDeviceMemory {}
+
+/// A fleet of per-sensor SMiLer predictors sharing one device.
+pub struct SmilerSystem {
+    device: Arc<Device>,
+    sensors: Vec<SensorPredictor>,
+}
+
+impl SmilerSystem {
+    /// Build the system, admitting sensors until device memory runs out.
+    ///
+    /// Returns the system and, if some sensors did not fit, the error for
+    /// the first rejected one (sensors after it are also not admitted —
+    /// mirroring a fixed resident set).
+    pub fn new(
+        device: Arc<Device>,
+        histories: Vec<Vec<f64>>,
+        config: SmilerConfig,
+        kind: PredictorKind,
+    ) -> (Self, Option<OutOfDeviceMemory>) {
+        let mut sensors = Vec::new();
+        let mut rejection = None;
+        for (id, history) in histories.into_iter().enumerate() {
+            let predictor =
+                SensorPredictor::new(Arc::clone(&device), id, history, config.clone(), kind);
+            let needed = predictor.device_bytes();
+            if device.try_reserve_memory(needed) {
+                sensors.push(predictor);
+            } else {
+                rejection = Some(OutOfDeviceMemory {
+                    sensor_id: id,
+                    needed,
+                    available: device.memory_capacity() - device.memory_used(),
+                });
+                break;
+            }
+        }
+        (SmilerSystem { device, sensors }, rejection)
+    }
+
+    /// Number of resident sensors.
+    pub fn len(&self) -> usize {
+        self.sensors.len()
+    }
+
+    /// Whether no sensor is resident.
+    pub fn is_empty(&self) -> bool {
+        self.sensors.is_empty()
+    }
+
+    /// The shared device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Mutable access to one sensor's predictor.
+    pub fn sensor_mut(&mut self, idx: usize) -> &mut SensorPredictor {
+        &mut self.sensors[idx]
+    }
+
+    /// Predict horizon `h` for every resident sensor.
+    pub fn predict_all(&mut self, h: usize) -> Vec<(f64, f64)> {
+        self.sensors.iter_mut().map(|s| s.predict(h)).collect()
+    }
+
+    /// Predict horizon `h` for every sensor with the **fleet-batched**
+    /// search pipeline: one device grid per search phase spans all sensors
+    /// (paper Fig 3 / §4.4), instead of one small launch sequence per
+    /// sensor. Results are identical to [`SmilerSystem::predict_all`]; the
+    /// device does the same work in ~16× fewer launches.
+    pub fn predict_all_batched(&mut self, h: usize) -> Vec<(f64, f64)> {
+        let max_ends: Vec<usize> =
+            self.sensors.iter().map(|s| s.search_max_end()).collect();
+        {
+            let mut refs: Vec<&mut SmilerIndex> =
+                self.sensors.iter_mut().map(|s| s.index_mut()).collect();
+            let outputs = fleet_search(&self.device, &mut refs, &max_ends);
+            drop(refs);
+            for (sensor, out) in self.sensors.iter_mut().zip(outputs) {
+                sensor.install_search(out);
+            }
+        }
+        // The prediction math reuses each sensor's installed search.
+        self.sensors.iter_mut().map(|s| s.predict(h)).collect()
+    }
+
+    /// Predict horizon `h` for every sensor using host threads — the
+    /// paper's §6.4.1 note that "the running time of SMiLer-GP can be
+    /// further reduced by multithreading on multi-core architecture".
+    /// Sensors are independent (each owns its index and ensemble), so the
+    /// prediction step parallelises trivially; the shared device's
+    /// simulated clock stays correct because cost accounting is atomic
+    /// per launch.
+    pub fn predict_all_parallel(&mut self, h: usize) -> Vec<(f64, f64)> {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let chunk = self.sensors.len().div_ceil(threads.max(1)).max(1);
+        let mut results: Vec<Vec<(f64, f64)>> = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .sensors
+                .chunks_mut(chunk)
+                .map(|sensors| {
+                    scope.spawn(move |_| {
+                        sensors.iter_mut().map(|s| s.predict(h)).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            results = handles.into_iter().map(|j| j.join().expect("sensor predictor panicked")).collect();
+        })
+        .expect("prediction worker panicked");
+        results.into_iter().flatten().collect()
+    }
+
+    /// Feed one new observation per sensor (same order as construction).
+    ///
+    /// # Panics
+    /// Panics if the observation count differs from the sensor count.
+    pub fn observe_all(&mut self, observations: &[f64]) {
+        assert_eq!(observations.len(), self.sensors.len(), "one observation per sensor");
+        for (s, &v) in self.sensors.iter_mut().zip(observations) {
+            s.observe(v);
+        }
+    }
+
+    /// Total device bytes the resident indexes occupy.
+    pub fn resident_bytes(&self) -> usize {
+        self.sensors.iter().map(|s| s.device_bytes()).sum()
+    }
+
+    /// How many sensors of `bytes_per_sensor` fit on a device with
+    /// `capacity` bytes — the Fig 12c headline number.
+    pub fn capacity_in_sensors(capacity: usize, bytes_per_sensor: usize) -> usize {
+        if bytes_per_sensor == 0 {
+            return usize::MAX;
+        }
+        capacity / bytes_per_sensor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smiler_gpu::GpuSpec;
+
+    fn histories(count: usize, n: usize) -> Vec<Vec<f64>> {
+        (0..count)
+            .map(|s| {
+                (0..n)
+                    .map(|i| ((i + s * 13) as f64 * std::f64::consts::TAU / 24.0).sin())
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_sensors_fit_on_default_device() {
+        let device = Arc::new(Device::default_gpu());
+        let (mut system, rejected) = SmilerSystem::new(
+            device,
+            histories(3, 300),
+            SmilerConfig::small_for_tests(),
+            PredictorKind::Aggregation,
+        );
+        assert!(rejected.is_none());
+        assert_eq!(system.len(), 3);
+        let preds = system.predict_all(1);
+        assert_eq!(preds.len(), 3);
+        assert!(preds.iter().all(|(m, v)| m.is_finite() && *v > 0.0));
+        system.observe_all(&[0.0, 0.1, 0.2]);
+        assert_eq!(system.predict_all(1).len(), 3);
+    }
+
+    #[test]
+    fn tiny_device_rejects_overflow() {
+        let spec = GpuSpec { memory_bytes: 100_000, ..Default::default() };
+        let device = Arc::new(Device::gpu(spec));
+        let (system, rejected) = SmilerSystem::new(
+            device,
+            histories(10, 300),
+            SmilerConfig::small_for_tests(),
+            PredictorKind::Aggregation,
+        );
+        let err = rejected.expect("must reject some sensor");
+        assert!(system.len() < 10);
+        assert_eq!(err.sensor_id, system.len());
+        assert!(err.needed > err.available);
+    }
+
+    #[test]
+    fn batched_prediction_matches_serial() {
+        let (mut serial, _) = SmilerSystem::new(
+            Arc::new(Device::default_gpu()),
+            histories(4, 300),
+            SmilerConfig::small_for_tests(),
+            PredictorKind::Aggregation,
+        );
+        let (mut batched, _) = SmilerSystem::new(
+            Arc::new(Device::default_gpu()),
+            histories(4, 300),
+            SmilerConfig::small_for_tests(),
+            PredictorKind::Aggregation,
+        );
+        let a = serial.predict_all(2);
+        let b = batched.predict_all_batched(2);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x.0 - y.0).abs() < 1e-9 && (x.1 - y.1).abs() < 1e-9, "{x:?} vs {y:?}");
+        }
+        // And the batched path must use far fewer launches.
+        let solo_launches = serial.device().kernel_launches();
+        let batched_launches = batched.device().kernel_launches();
+        assert!(
+            batched_launches < solo_launches,
+            "batched {batched_launches} vs solo {solo_launches}"
+        );
+        // Continuous operation stays in lockstep.
+        serial.observe_all(&[0.1, 0.2, 0.3, 0.4]);
+        batched.observe_all(&[0.1, 0.2, 0.3, 0.4]);
+        let a = serial.predict_all(1);
+        let b = batched.predict_all_batched(1);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x.0 - y.0).abs() < 1e-9, "{x:?} vs {y:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_prediction_matches_serial() {
+        let device = Arc::new(Device::default_gpu());
+        let (mut serial, _) = SmilerSystem::new(
+            Arc::clone(&device),
+            histories(5, 300),
+            SmilerConfig::small_for_tests(),
+            PredictorKind::Aggregation,
+        );
+        let (mut parallel, _) = SmilerSystem::new(
+            Arc::new(Device::default_gpu()),
+            histories(5, 300),
+            SmilerConfig::small_for_tests(),
+            PredictorKind::Aggregation,
+        );
+        let a = serial.predict_all(2);
+        let b = parallel.predict_all_parallel(2);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x.0 - y.0).abs() < 1e-12 && (x.1 - y.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn capacity_arithmetic() {
+        assert_eq!(SmilerSystem::capacity_in_sensors(6_000_000, 6_000), 1000);
+        assert_eq!(SmilerSystem::capacity_in_sensors(5, 10), 0);
+    }
+
+    #[test]
+    fn resident_bytes_match_reservations() {
+        let device = Arc::new(Device::default_gpu());
+        let (system, _) = SmilerSystem::new(
+            Arc::clone(&device),
+            histories(2, 300),
+            SmilerConfig::small_for_tests(),
+            PredictorKind::Aggregation,
+        );
+        assert_eq!(system.resident_bytes(), device.memory_used());
+    }
+}

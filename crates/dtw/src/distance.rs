@@ -1,0 +1,287 @@
+//! Banded DTW distance: reference, compressed-buffer and early-abandoning
+//! implementations.
+
+/// Per-cell cost: squared difference, as in the UCR suite.
+#[inline]
+fn cell(a: f64, b: f64) -> f64 {
+    let d = a - b;
+    d * d
+}
+
+fn check_inputs(q: &[f64], c: &[f64]) -> usize {
+    assert_eq!(q.len(), c.len(), "banded DTW requires equal-length sequences");
+    assert!(!q.is_empty(), "banded DTW of empty sequences is undefined");
+    q.len()
+}
+
+/// Reference banded DTW: the full `(d+1)×(d+1)` warping matrix with the
+/// Sakoe-Chiba constraint `|i−j| ≤ ρ` (paper Eqns 21–24).
+///
+/// Kept as the oracle the compressed and early-abandoning variants are
+/// property-tested against; production paths use [`dtw_compressed`].
+///
+/// # Panics
+/// Panics if the sequences differ in length or are empty.
+pub fn dtw_banded(q: &[f64], c: &[f64], rho: usize) -> f64 {
+    let d = check_inputs(q, c);
+    let inf = f64::INFINITY;
+    // gamma[i][j] with 1-based sequence indices; gamma[0][0] = 0 border.
+    let mut gamma = vec![vec![inf; d + 1]; d + 1];
+    gamma[0][0] = 0.0;
+    for i in 1..=d {
+        let lo = i.saturating_sub(rho).max(1);
+        let hi = (i + rho).min(d);
+        for j in lo..=hi {
+            let best = gamma[i - 1][j].min(gamma[i][j - 1]).min(gamma[i - 1][j - 1]);
+            gamma[i][j] = cell(q[i - 1], c[j - 1]) + best;
+        }
+    }
+    gamma[d][d]
+}
+
+/// Banded DTW with the paper's compressed warping matrix (Appendix E,
+/// Algorithm 2): a rolling buffer of `2×(2ρ+2)` cells, sized to live in GPU
+/// shared memory. The band guarantees columns `j−1` and `j` together touch
+/// exactly `2ρ+2` distinct diagonal offsets, so the modulus addressing
+/// `(i mod (2ρ+2), j mod 2)` never collides.
+///
+/// # Panics
+/// Panics if the sequences differ in length or are empty.
+pub fn dtw_compressed(q: &[f64], c: &[f64], rho: usize) -> f64 {
+    let d = check_inputs(q, c);
+    let m = 2 * rho + 2;
+    let inf = f64::INFINITY;
+    // buf[slot][parity], slot = i mod m, parity = j mod 2.
+    let mut buf = vec![[inf; 2]; m];
+    // Border column j = 0: gamma(0,0) = 0, gamma(i,0) = inf (already inf).
+    buf[0][0] = 0.0;
+    // gamma(0, j) = inf for j >= 1 is installed when each column begins.
+    let idx = |i: isize| -> usize { i.rem_euclid(m as isize) as usize };
+
+    for j in 1..=d {
+        let parity = j % 2;
+        let prev = 1 - parity;
+        // Invalidate the two cells leaving the band (Algorithm 2 lines 7–8):
+        // gamma(j-ρ-1, j) and gamma(j+ρ, j-1) must read as infinity below.
+        buf[idx(j as isize - rho as isize - 1)][parity] = inf;
+        buf[idx(j as isize + rho as isize)][prev] = inf;
+        // gamma(0, j) = inf border, only read while i = 1 is inside the band.
+        if j <= rho + 1 {
+            buf[0][parity] = inf;
+        }
+        let lo = j.saturating_sub(rho).max(1);
+        let hi = (j + rho).min(d);
+        for i in lo..=hi {
+            let s = idx(i as isize);
+            let s1 = idx(i as isize - 1);
+            let best = buf[s1][parity].min(buf[s][prev]).min(buf[s1][prev]);
+            buf[s][parity] = cell(q[i - 1], c[j - 1]) + best;
+        }
+    }
+    buf[idx(d as isize)][d % 2]
+}
+
+/// Early-abandoning banded DTW for the CPU scan baseline: computes columns
+/// left to right and abandons as soon as the minimum of the current column
+/// exceeds `threshold`, returning `None` (the candidate cannot be a kNN).
+///
+/// # Panics
+/// Panics if the sequences differ in length or are empty.
+pub fn dtw_early_abandon(q: &[f64], c: &[f64], rho: usize, threshold: f64) -> Option<f64> {
+    dtw_early_abandon_counted(q, c, rho, threshold).0
+}
+
+/// [`dtw_early_abandon`] that also reports how many warping-matrix cells
+/// were actually evaluated — the work measure the CPU-scan baseline feeds
+/// its cost model (abandoning early is exactly what makes FastCPUScan
+/// faster than a full scan).
+pub fn dtw_early_abandon_counted(
+    q: &[f64],
+    c: &[f64],
+    rho: usize,
+    threshold: f64,
+) -> (Option<f64>, u64) {
+    let d = check_inputs(q, c);
+    let mut cells: u64 = 0;
+    let m = 2 * rho + 2;
+    let inf = f64::INFINITY;
+    let mut buf = vec![[inf; 2]; m];
+    buf[0][0] = 0.0;
+    let idx = |i: isize| -> usize { i.rem_euclid(m as isize) as usize };
+
+    for j in 1..=d {
+        let parity = j % 2;
+        let prev = 1 - parity;
+        buf[idx(j as isize - rho as isize - 1)][parity] = inf;
+        buf[idx(j as isize + rho as isize)][prev] = inf;
+        if j <= rho + 1 {
+            buf[0][parity] = inf;
+        }
+        let lo = j.saturating_sub(rho).max(1);
+        let hi = (j + rho).min(d);
+        let mut col_min = inf;
+        for i in lo..=hi {
+            let s = idx(i as isize);
+            let s1 = idx(i as isize - 1);
+            let best = buf[s1][parity].min(buf[s][prev]).min(buf[s1][prev]);
+            let v = cell(q[i - 1], c[j - 1]) + best;
+            buf[s][parity] = v;
+            col_min = col_min.min(v);
+            cells += 1;
+        }
+        // DTW cost is non-decreasing along any path, so once every cell of a
+        // column exceeds the threshold the final distance must too.
+        if col_min > threshold {
+            return (None, cells);
+        }
+    }
+    let result = buf[idx(d as isize)][d % 2];
+    ((result <= threshold).then_some(result), cells)
+}
+
+/// Analytic operation count of one banded DTW evaluation, used by the GPU /
+/// CPU cost models: cells in the band × (1 cell cost + 3-way min + add).
+pub fn dtw_ops_estimate(d: usize, rho: usize) -> u64 {
+    let band_width = (2 * rho + 1).min(d) as u64;
+    d as u64 * band_width * 6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_sequences_have_zero_distance() {
+        let q = [0.5, 1.0, -2.0, 3.0];
+        assert_eq!(dtw_banded(&q, &q, 2), 0.0);
+        assert_eq!(dtw_compressed(&q, &q, 2), 0.0);
+    }
+
+    #[test]
+    fn rho_zero_is_euclidean() {
+        let q = [1.0, 2.0, 3.0];
+        let c = [2.0, 2.0, 5.0];
+        let expect = 1.0 + 0.0 + 4.0;
+        assert_eq!(dtw_banded(&q, &c, 0), expect);
+        assert_eq!(dtw_compressed(&q, &c, 0), expect);
+    }
+
+    #[test]
+    fn warping_helps_shifted_series() {
+        // A one-step shifted copy should match almost perfectly with ρ ≥ 1.
+        let q: Vec<f64> = (0..20).map(|i| (i as f64 * 0.5).sin()).collect();
+        let c: Vec<f64> = (0..20).map(|i| ((i + 1) as f64 * 0.5).sin()).collect();
+        let rigid = dtw_banded(&q, &c, 0);
+        let warped = dtw_banded(&q, &c, 2);
+        assert!(warped < rigid * 0.5, "warped {warped} rigid {rigid}");
+    }
+
+    #[test]
+    fn known_small_example() {
+        // Hand-checked 3-point example, ρ = 1:
+        // q = [0, 1, 2], c = [0, 2, 2].
+        // Optimal path: (1,1)=0, then (2,2)=1, then (3,2)->(3,3) or diag:
+        // gamma(2,2)=1, gamma(3,3)=min(g(2,3),g(3,2),g(2,2)) + 0 = 1.
+        let q = [0.0, 1.0, 2.0];
+        let c = [0.0, 2.0, 2.0];
+        assert_eq!(dtw_banded(&q, &c, 1), 1.0);
+        assert_eq!(dtw_compressed(&q, &c, 1), 1.0);
+    }
+
+    #[test]
+    fn wider_band_never_increases_distance() {
+        let q: Vec<f64> = (0..30).map(|i| ((i * 7) % 13) as f64).collect();
+        let c: Vec<f64> = (0..30).map(|i| ((i * 5) % 11) as f64).collect();
+        let mut prev = f64::INFINITY;
+        for rho in 0..8 {
+            let d = dtw_banded(&q, &c, rho);
+            assert!(d <= prev + 1e-12, "rho {rho}: {d} > {prev}");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn early_abandon_none_when_over_threshold() {
+        let q = [0.0; 16];
+        let c = [10.0; 16];
+        assert_eq!(dtw_early_abandon(&q, &c, 4, 1.0), None);
+    }
+
+    #[test]
+    fn early_abandon_exact_when_under_threshold() {
+        let q: Vec<f64> = (0..16).map(|i| (i as f64 * 0.3).cos()).collect();
+        let c: Vec<f64> = (0..16).map(|i| (i as f64 * 0.31).cos()).collect();
+        let exact = dtw_banded(&q, &c, 4);
+        assert_eq!(dtw_early_abandon(&q, &c, 4, exact + 1.0), Some(exact));
+        // Threshold exactly at the distance is inclusive.
+        assert_eq!(dtw_early_abandon(&q, &c, 4, exact), Some(exact));
+    }
+
+    #[test]
+    fn ops_estimate_scales_with_band() {
+        assert!(dtw_ops_estimate(64, 8) > dtw_ops_estimate(64, 2));
+        assert!(dtw_ops_estimate(128, 8) > dtw_ops_estimate(64, 8));
+        // Band clipped to sequence length.
+        assert_eq!(dtw_ops_estimate(4, 100), 4 * 4 * 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn unequal_lengths_panic() {
+        dtw_banded(&[1.0], &[1.0, 2.0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sequences_panic() {
+        dtw_banded(&[], &[], 1);
+    }
+
+    proptest! {
+        #[test]
+        fn compressed_matches_reference(
+            (q, c) in (2usize..40).prop_flat_map(|n| (
+                prop::collection::vec(-10.0f64..10.0, n),
+                prop::collection::vec(-10.0f64..10.0, n),
+            )),
+            rho in 0usize..10,
+        ) {
+            let full = dtw_banded(&q, &c, rho);
+            let compressed = dtw_compressed(&q, &c, rho);
+            prop_assert!((full - compressed).abs() < 1e-9,
+                "full {} vs compressed {}", full, compressed);
+        }
+
+        #[test]
+        fn early_abandon_agrees_with_reference(
+            (q, c) in (2usize..32).prop_flat_map(|n| (
+                prop::collection::vec(-5.0f64..5.0, n),
+                prop::collection::vec(-5.0f64..5.0, n),
+            )),
+            rho in 0usize..6,
+            threshold in 0.0f64..500.0,
+        ) {
+            let full = dtw_banded(&q, &c, rho);
+            match dtw_early_abandon(&q, &c, rho, threshold) {
+                Some(d) => {
+                    prop_assert!((d - full).abs() < 1e-9);
+                    prop_assert!(full <= threshold + 1e-9);
+                }
+                None => prop_assert!(full > threshold - 1e-9),
+            }
+        }
+
+        #[test]
+        fn symmetry(
+            (q, c) in (2usize..24).prop_flat_map(|n| (
+                prop::collection::vec(-5.0f64..5.0, n),
+                prop::collection::vec(-5.0f64..5.0, n),
+            )),
+            rho in 0usize..6,
+        ) {
+            // Squared-cost DTW with a symmetric band is symmetric.
+            prop_assert!((dtw_banded(&q, &c, rho) - dtw_banded(&c, &q, rho)).abs() < 1e-9);
+        }
+    }
+}

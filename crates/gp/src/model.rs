@@ -1,0 +1,218 @@
+//! The GP posterior: fitting on kNN data and predicting mean/variance.
+
+#![allow(clippy::needless_range_loop)] // index loops mirror the GPML equations
+
+use crate::kernel::{self, Hyperparams};
+use smiler_linalg::{Cholesky, Matrix};
+
+/// Errors raised when conditioning the GP.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GpError {
+    /// Input matrix and target vector disagree in length.
+    ShapeMismatch {
+        /// Rows of the input matrix.
+        inputs: usize,
+        /// Length of the target vector.
+        targets: usize,
+    },
+    /// Empty training set.
+    Empty,
+    /// The Gram matrix could not be factorised even with jitter.
+    SingularGram,
+}
+
+impl std::fmt::Display for GpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GpError::ShapeMismatch { inputs, targets } => {
+                write!(f, "{inputs} inputs but {targets} targets")
+            }
+            GpError::Empty => write!(f, "cannot fit a GP on an empty training set"),
+            GpError::SingularGram => write!(f, "Gram matrix is numerically singular"),
+        }
+    }
+}
+
+impl std::error::Error for GpError {}
+
+/// A GP conditioned on kNN data `(X_{k,d}, Y_h)` — the instantiated
+/// semi-lazy predictor of paper Eqns 14–17.
+#[derive(Debug, Clone)]
+pub struct GpModel {
+    x: Matrix,
+    hyper: Hyperparams,
+    chol: Cholesky,
+    /// `α = C⁻¹ Y` — the weights of the predictive mean (Eqn 16).
+    alpha: Vec<f64>,
+}
+
+impl GpModel {
+    /// Condition the GP on training inputs `x` (one row per neighbour
+    /// segment) and targets `y` (their h-step-ahead values).
+    pub fn fit(x: Matrix, y: &[f64], hyper: Hyperparams) -> Result<Self, GpError> {
+        if x.rows() == 0 {
+            return Err(GpError::Empty);
+        }
+        if x.rows() != y.len() {
+            return Err(GpError::ShapeMismatch { inputs: x.rows(), targets: y.len() });
+        }
+        let sq = kernel::squared_distances(&x);
+        let gram = kernel::gram(&sq, &hyper);
+        // Duplicate kNN segments make the Gram matrix semi-definite; jitter
+        // up to a fraction of the prior variance before giving up.
+        let chol = Cholesky::decompose_with_jitter(&gram, 1e-10, 1e-4 * hyper.prior_variance())
+            .map_err(|_| GpError::SingularGram)?;
+        let alpha = chol.solve(y);
+        Ok(GpModel { x, hyper, chol, alpha })
+    }
+
+    /// Number of training points `k`.
+    pub fn len(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// Whether the model has no training points (never true for a
+    /// successfully fitted model).
+    pub fn is_empty(&self) -> bool {
+        self.x.rows() == 0
+    }
+
+    /// The hyperparameters this model was fitted with.
+    pub fn hyper(&self) -> Hyperparams {
+        self.hyper
+    }
+
+    /// Predictive distribution for a test input (Eqns 16–17):
+    /// mean `u₀ = c₀ᵀ C⁻¹ Y` and variance `σ₀² = c(x₀,x₀) − c₀ᵀ C⁻¹ c₀`.
+    ///
+    /// # Panics
+    /// Panics if `x0` has the wrong dimensionality.
+    pub fn predict(&self, x0: &[f64]) -> (f64, f64) {
+        assert_eq!(x0.len(), self.x.cols(), "test input dimensionality mismatch");
+        let k = self.x.rows();
+        let mut c0 = Vec::with_capacity(k);
+        for a in 0..k {
+            c0.push(self.hyper.cov(self.x.row(a), x0, false));
+        }
+        let mean: f64 = c0.iter().zip(&self.alpha).map(|(c, a)| c * a).sum();
+        // Stable quadratic form via the Cholesky factor.
+        let var = self.hyper.prior_variance() - self.chol.quad_form(&c0);
+        // Numerical cancellation can push the variance a hair below zero;
+        // the noise floor θ₂² is the physically smallest honest value.
+        let floor = self.hyper.theta2 * self.hyper.theta2;
+        (mean, var.max(floor * 1e-6).max(0.0))
+    }
+
+    /// Borrow the training inputs.
+    pub fn inputs(&self) -> &Matrix {
+        &self.x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> (Matrix, Vec<f64>) {
+        // y = sin(x) sampled on a grid.
+        let xs: Vec<f64> = (0..12).map(|i| i as f64 * 0.5).collect();
+        let y: Vec<f64> = xs.iter().map(|x| x.sin()).collect();
+        (Matrix::from_rows(12, 1, xs), y)
+    }
+
+    fn hyper() -> Hyperparams {
+        Hyperparams::new(1.0, 1.0, 0.05)
+    }
+
+    #[test]
+    fn interpolates_training_points_with_low_noise() {
+        let (x, y) = toy();
+        let gp = GpModel::fit(x.clone(), &y, hyper()).unwrap();
+        for a in 0..x.rows() {
+            let (mean, var) = gp.predict(x.row(a));
+            assert!((mean - y[a]).abs() < 0.05, "mean {mean} vs {}", y[a]);
+            assert!(var < 0.05, "variance {var} too large at a training point");
+        }
+    }
+
+    #[test]
+    fn variance_grows_away_from_data() {
+        let (x, y) = toy();
+        let gp = GpModel::fit(x, &y, hyper()).unwrap();
+        let (_, near) = gp.predict(&[2.75]);
+        let (_, far) = gp.predict(&[30.0]);
+        assert!(far > near);
+        // Far from all data the posterior reverts to the prior.
+        assert!((far - hyper().prior_variance()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn mean_reverts_to_zero_prior_far_away() {
+        let (x, y) = toy();
+        let gp = GpModel::fit(x, &y, hyper()).unwrap();
+        let (mean, _) = gp.predict(&[100.0]);
+        assert!(mean.abs() < 1e-6);
+    }
+
+    #[test]
+    fn sensible_interpolation_between_points() {
+        let (x, y) = toy();
+        let gp = GpModel::fit(x, &y, hyper()).unwrap();
+        let (mean, _) = gp.predict(&[2.25]);
+        assert!((mean - 2.25f64.sin()).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn duplicate_rows_survive_via_jitter() {
+        let x = Matrix::from_rows(4, 1, vec![1.0, 1.0, 2.0, 2.0]);
+        let y = [0.5, 0.5, -0.5, -0.5];
+        // Tiny noise makes the Gram matrix nearly singular.
+        let gp = GpModel::fit(x, &y, Hyperparams::new(1.0, 1.0, 1e-9)).unwrap();
+        let (mean, var) = gp.predict(&[1.0]);
+        assert!(mean.is_finite() && var.is_finite() && var >= 0.0);
+        assert!((mean - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn shape_errors() {
+        let x = Matrix::from_rows(2, 1, vec![0.0, 1.0]);
+        assert_eq!(
+            GpModel::fit(x, &[1.0], hyper()).unwrap_err(),
+            GpError::ShapeMismatch { inputs: 2, targets: 1 }
+        );
+        assert_eq!(
+            GpModel::fit(Matrix::zeros(0, 1), &[], hyper()).unwrap_err(),
+            GpError::Empty
+        );
+    }
+
+    #[test]
+    fn manual_two_point_posterior() {
+        // Two points, hand-computed posterior mean at a test location.
+        let h = Hyperparams::new(1.0, 1.0, 0.1);
+        let x = Matrix::from_rows(2, 1, vec![0.0, 1.0]);
+        let y = [1.0, 2.0];
+        let gp = GpModel::fit(x, &y, h).unwrap();
+        let k01 = (-0.5f64).exp();
+        let diag = 1.0 + 0.01;
+        // C = [[1.01, k01],[k01, 1.01]]; alpha = C^{-1} y.
+        let det = diag * diag - k01 * k01;
+        let a0 = (diag * y[0] - k01 * y[1]) / det;
+        let a1 = (-k01 * y[0] + diag * y[1]) / det;
+        let x0 = 0.5f64;
+        let c0 = [(-0.125f64).exp(), (-0.125f64).exp()];
+        let expect = c0[0] * a0 + c0[1] * a1;
+        let (mean, _) = gp.predict(&[x0]);
+        assert!((mean - expect).abs() < 1e-10, "mean {mean} vs manual {expect}");
+    }
+
+    #[test]
+    fn noisier_hyper_means_higher_predictive_variance() {
+        let (x, y) = toy();
+        let quiet = GpModel::fit(x.clone(), &y, Hyperparams::new(1.0, 1.0, 0.01)).unwrap();
+        let loud = GpModel::fit(x, &y, Hyperparams::new(1.0, 1.0, 0.5)).unwrap();
+        let (_, vq) = quiet.predict(&[1.25]);
+        let (_, vl) = loud.predict(&[1.25]);
+        assert!(vl > vq);
+    }
+}

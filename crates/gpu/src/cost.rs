@@ -1,0 +1,275 @@
+//! Calibrated cost models for the simulated GPU and the baseline CPU.
+//!
+//! Kernels report abstract operation counts ([`BlockCost`]); these models
+//! turn counts into cycles and cycles into simulated seconds. Two deliberate
+//! simplifications keep the model analysable:
+//!
+//! 1. **Throughput, not latency.** A GPU hides memory latency with
+//!    thousands of resident threads, so sustained kernels are throughput
+//!    bound. Each operation class has a reciprocal-throughput cost in
+//!    cycles; a block's cycles are the sum over classes.
+//! 2. **Greedy block scheduling.** Blocks are assigned to the least-loaded
+//!    SM in launch order (exactly how a CUDA grid dispatches waves); device
+//!    time is the makespan over SMs.
+//!
+//! The constants are calibrated to the hardware of the paper's testbed
+//! (GTX TITAN: 14 SMX × 192 cores at 0.88 GHz, ~288 GB/s; Core i7-3820:
+//! 4 cores at 3.6 GHz with 4-wide AVX, ~51 GB/s) so that the *ratios* the
+//! paper reports — GPU scan ≈ 50× CPU scan, Fig 7 — emerge from first
+//! principles rather than being hard-coded.
+
+/// Abstract per-block operation counts, self-reported by kernels.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BlockCost {
+    /// Words (f64) read from global/device memory.
+    pub global_reads: u64,
+    /// Words (f64) written to global/device memory.
+    pub global_writes: u64,
+    /// Words accessed in per-block shared memory.
+    pub shared_accesses: u64,
+    /// Floating-point operations executed by converged lanes.
+    pub flops: u64,
+    /// Extra operations serialised by intra-warp divergence. These cost a
+    /// full SIMD-width of issue slots each — the §4.4 penalty that makes the
+    /// paper separate filtering from verification.
+    pub divergent_ops: u64,
+    /// Block-wide barrier synchronisations.
+    pub syncs: u64,
+}
+
+impl BlockCost {
+    /// Accumulate another block's counts into this one.
+    pub fn merge(&mut self, other: &BlockCost) {
+        self.global_reads += other.global_reads;
+        self.global_writes += other.global_writes;
+        self.shared_accesses += other.shared_accesses;
+        self.flops += other.flops;
+        self.divergent_ops += other.divergent_ops;
+        self.syncs += other.syncs;
+    }
+}
+
+/// Aggregated statistics for one kernel launch.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KernelStats {
+    /// Number of blocks in the grid.
+    pub blocks: u64,
+    /// Sum of per-block counts.
+    pub total: BlockCost,
+    /// Simulated execution time of the launch in seconds: the makespan of
+    /// the greedy block→unit schedule. For small grids this is floored at
+    /// one block's latency (an under-occupied device).
+    pub sim_seconds: f64,
+    /// Simulated *device-saturated* seconds: total cycles ÷ (units ×
+    /// clock) — the marginal cost of this launch when the device is kept
+    /// busy by many concurrent sensors, which is the paper's 963-sensor
+    /// operating regime (Fig 3). Always ≤ `sim_seconds`.
+    pub saturated_seconds: f64,
+}
+
+/// A device-agnostic cost model: reciprocal throughputs in cycles per
+/// operation, plus the parallel shape of the device.
+pub trait CostModel {
+    /// Cycles one execution unit needs for the given block counts.
+    fn block_cycles(&self, cost: &BlockCost) -> f64;
+    /// Number of independent execution units (SMs / cores).
+    fn parallel_units(&self) -> usize;
+    /// Clock rate in Hz.
+    fn clock_hz(&self) -> f64;
+
+    /// Simulated seconds for a set of per-block cycle counts, using greedy
+    /// least-loaded scheduling onto the parallel units.
+    fn makespan_seconds(&self, block_cycles: &[f64]) -> f64 {
+        let units = self.parallel_units().max(1);
+        let mut load = vec![0.0f64; units];
+        for &c in block_cycles {
+            // Least-loaded unit; ties resolved by index for determinism.
+            let (idx, _) = load
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("loads are finite"))
+                .expect("at least one unit");
+            load[idx] += c;
+        }
+        let makespan = load.iter().copied().fold(0.0, f64::max);
+        makespan / self.clock_hz()
+    }
+}
+
+/// Specification of a simulated GPU, defaulting to the paper's GTX TITAN.
+#[derive(Debug, Clone, Copy)]
+pub struct GpuSpec {
+    /// Streaming multiprocessors.
+    pub sms: usize,
+    /// SIMD lanes that issue together per SM (warp-level throughput).
+    pub simd_width: usize,
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+    /// Device memory capacity in bytes (Fig 12c models 6 GB).
+    pub memory_bytes: usize,
+    /// Shared memory per block in bytes (the Appendix E budget).
+    pub shared_bytes_per_block: usize,
+    /// Cycles per global-memory word per SM (coalesced, amortised).
+    pub global_word_cycles: f64,
+    /// Cycles per shared-memory word.
+    pub shared_word_cycles: f64,
+    /// Cycles per block-wide barrier.
+    pub sync_cycles: f64,
+}
+
+impl Default for GpuSpec {
+    fn default() -> Self {
+        // GTX TITAN (GK110): 14 SMX, 192 SP cores each, 0.876 GHz, 6 GB,
+        // 288 GB/s. Per SM that bandwidth is ~20.6 GB/s = 2.6 Gwords/s,
+        // i.e. ~0.34 cycles per word at 0.876 GHz — rounded up for ECC and
+        // imperfect coalescing.
+        GpuSpec {
+            sms: 14,
+            simd_width: 192,
+            clock_hz: 0.876e9,
+            memory_bytes: 6 * 1024 * 1024 * 1024,
+            shared_bytes_per_block: 48 * 1024,
+            global_word_cycles: 0.45,
+            shared_word_cycles: 0.02,
+            sync_cycles: 30.0,
+        }
+    }
+}
+
+impl CostModel for GpuSpec {
+    fn block_cycles(&self, c: &BlockCost) -> f64 {
+        let width = self.simd_width as f64;
+        // Converged arithmetic is spread over the SIMD lanes; divergent work
+        // serialises (one lane's work occupies the whole warp's issue slot).
+        let compute = c.flops as f64 / width + c.divergent_ops as f64;
+        let global = (c.global_reads + c.global_writes) as f64 * self.global_word_cycles;
+        let shared = c.shared_accesses as f64 * self.shared_word_cycles / width;
+        let sync = c.syncs as f64 * self.sync_cycles;
+        compute + global + shared + sync
+    }
+
+    fn parallel_units(&self) -> usize {
+        self.sms
+    }
+
+    fn clock_hz(&self) -> f64 {
+        self.clock_hz
+    }
+}
+
+/// Specification of the baseline CPU, defaulting to the paper's i7-3820.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuSpec {
+    /// Physical cores.
+    pub cores: usize,
+    /// SIMD lanes (AVX doubles).
+    pub simd_width: usize,
+    /// Clock in Hz.
+    pub clock_hz: f64,
+    /// Cycles per out-of-cache memory word per core.
+    pub memory_word_cycles: f64,
+}
+
+impl Default for CpuSpec {
+    fn default() -> Self {
+        // i7-3820: 4 cores, 3.6 GHz, AVX (4 doubles), ~51 GB/s shared.
+        // Per core: 12.75 GB/s = 1.6 Gwords/s → ~2.3 cycles/word.
+        CpuSpec { cores: 4, simd_width: 4, clock_hz: 3.6e9, memory_word_cycles: 2.3 }
+    }
+}
+
+impl CostModel for CpuSpec {
+    fn block_cycles(&self, c: &BlockCost) -> f64 {
+        // Scalar DTW recurrences do not vectorise well; model a modest SIMD
+        // benefit on converged flops and none on divergent work.
+        let compute = c.flops as f64 / (self.simd_width as f64 * 0.5) + c.divergent_ops as f64;
+        // A CPU has no shared-vs-global split: everything is one hierarchy.
+        let memory = (c.global_reads + c.global_writes + c.shared_accesses) as f64
+            * self.memory_word_cycles;
+        compute + memory
+    }
+
+    fn parallel_units(&self) -> usize {
+        self.cores
+    }
+
+    fn clock_hz(&self) -> f64 {
+        self.clock_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flop_block(flops: u64) -> BlockCost {
+        BlockCost { flops, ..Default::default() }
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = BlockCost { global_reads: 1, flops: 10, ..Default::default() };
+        a.merge(&BlockCost { global_reads: 2, divergent_ops: 5, ..Default::default() });
+        assert_eq!(a.global_reads, 3);
+        assert_eq!(a.flops, 10);
+        assert_eq!(a.divergent_ops, 5);
+    }
+
+    #[test]
+    fn gpu_outpaces_cpu_on_parallel_flops() {
+        let gpu = GpuSpec::default();
+        let cpu = CpuSpec::default();
+        // 10k blocks of 100k flops each — an embarrassingly parallel scan.
+        let blocks: Vec<BlockCost> = (0..10_000).map(|_| flop_block(100_000)).collect();
+        let gpu_t = gpu
+            .makespan_seconds(&blocks.iter().map(|b| gpu.block_cycles(b)).collect::<Vec<_>>());
+        let cpu_t = cpu
+            .makespan_seconds(&blocks.iter().map(|b| cpu.block_cycles(b)).collect::<Vec<_>>());
+        let ratio = cpu_t / gpu_t;
+        // The paper's Fig 7 shows roughly 50× between FastCPUScan and
+        // FastGPUScan; the raw hardware ratio should be in that regime.
+        assert!(ratio > 20.0 && ratio < 200.0, "CPU/GPU ratio {ratio}");
+    }
+
+    #[test]
+    fn divergence_is_expensive_on_gpu() {
+        let gpu = GpuSpec::default();
+        let converged = gpu.block_cycles(&flop_block(1920));
+        let divergent =
+            gpu.block_cycles(&BlockCost { divergent_ops: 1920, ..Default::default() });
+        assert!(divergent > 50.0 * converged);
+    }
+
+    #[test]
+    fn makespan_balances_blocks() {
+        let gpu = GpuSpec { sms: 2, ..Default::default() };
+        // Four equal blocks over two SMs: makespan = 2 blocks' cycles.
+        let cycles = vec![100.0, 100.0, 100.0, 100.0];
+        let t = gpu.makespan_seconds(&cycles);
+        assert!((t - 200.0 / gpu.clock_hz).abs() / t < 1e-9);
+    }
+
+    #[test]
+    fn makespan_single_giant_block_is_serial() {
+        let gpu = GpuSpec::default();
+        let t1 = gpu.makespan_seconds(&[1000.0]);
+        let t2 = gpu.makespan_seconds(&[1000.0, 1.0]);
+        // The second tiny block hides behind the giant one.
+        assert!((t1 - t2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_launch_costs_nothing() {
+        let gpu = GpuSpec::default();
+        assert_eq!(gpu.makespan_seconds(&[]), 0.0);
+        assert_eq!(gpu.block_cycles(&BlockCost::default()), 0.0);
+    }
+
+    #[test]
+    fn memory_bound_kernel_scales_with_words() {
+        let gpu = GpuSpec::default();
+        let small = gpu.block_cycles(&BlockCost { global_reads: 1_000, ..Default::default() });
+        let large = gpu.block_cycles(&BlockCost { global_reads: 10_000, ..Default::default() });
+        assert!((large / small - 10.0).abs() < 1e-9);
+    }
+}

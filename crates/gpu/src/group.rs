@@ -1,0 +1,153 @@
+//! Multi-device scale-out.
+//!
+//! The paper's first answer to "more sensors than one GPU can hold" is
+//! "we can simply use multiple-GPU system" (§6.4.1). A [`DeviceGroup`]
+//! models that: a pool of identical devices with sensors assigned by a
+//! capacity-aware placement, aggregate clocks, and an aggregate memory
+//! budget. Placement is static (sensor → device), matching how per-sensor
+//! indexes are resident structures rather than migratable tasks.
+
+use crate::cost::GpuSpec;
+use crate::device::Device;
+use std::sync::Arc;
+
+/// A pool of identical simulated GPUs.
+#[derive(Debug)]
+pub struct DeviceGroup {
+    devices: Vec<Arc<Device>>,
+}
+
+/// Placement of one tenant (e.g. a sensor index) on a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Index of the device within the group.
+    pub device: usize,
+    /// Bytes reserved on that device.
+    pub bytes: usize,
+}
+
+impl DeviceGroup {
+    /// Create a group of `count` devices with the given specification.
+    ///
+    /// # Panics
+    /// Panics when `count` is zero.
+    pub fn new(count: usize, spec: GpuSpec) -> Self {
+        assert!(count > 0, "a device group needs at least one device");
+        DeviceGroup { devices: (0..count).map(|_| Arc::new(Device::gpu(spec))).collect() }
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the group is empty (never true; groups have ≥ 1 device).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Borrow device `i`.
+    pub fn device(&self, i: usize) -> &Arc<Device> {
+        &self.devices[i]
+    }
+
+    /// Place a tenant needing `bytes`: choose the device with the most free
+    /// memory (best-fit-decreasing behaviour when callers place tenants
+    /// largest-first). Returns `None` when no device can hold it.
+    pub fn place(&self, bytes: usize) -> Option<Placement> {
+        let (device, free) = self
+            .devices
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (i, d.memory_capacity().saturating_sub(d.memory_used())))
+            .max_by_key(|&(_, free)| free)?;
+        if free < bytes || !self.devices[device].try_reserve_memory(bytes) {
+            return None;
+        }
+        let _ = free;
+        Some(Placement { device, bytes })
+    }
+
+    /// Release a previous placement.
+    pub fn release(&self, placement: Placement) {
+        self.devices[placement.device].release_memory(placement.bytes);
+    }
+
+    /// Total memory used across devices.
+    pub fn memory_used(&self) -> usize {
+        self.devices.iter().map(|d| d.memory_used()).sum()
+    }
+
+    /// Aggregate simulated time: the *maximum* over devices — devices run
+    /// concurrently, so the fleet finishes when the busiest one does.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.devices.iter().map(|d| d.elapsed_seconds()).fold(0.0, f64::max)
+    }
+
+    /// Aggregate saturated seconds: also the maximum over devices (each
+    /// device's saturated clock already aggregates its own cycles).
+    pub fn saturated_seconds(&self) -> f64 {
+        self.devices.iter().map(|d| d.saturated_seconds()).fold(0.0, f64::max)
+    }
+
+    /// Reset every device clock.
+    pub fn reset_clocks(&self) {
+        for d in &self.devices {
+            d.reset_clock();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec(memory: usize) -> GpuSpec {
+        GpuSpec { memory_bytes: memory, ..Default::default() }
+    }
+
+    #[test]
+    fn placement_spreads_over_devices() {
+        let group = DeviceGroup::new(2, small_spec(1000));
+        let a = group.place(600).expect("fits");
+        let b = group.place(600).expect("fits on the other device");
+        assert_ne!(a.device, b.device);
+        assert_eq!(group.memory_used(), 1200);
+        // A third 600 no longer fits anywhere.
+        assert!(group.place(600).is_none());
+        group.release(a);
+        assert!(group.place(600).is_some());
+    }
+
+    #[test]
+    fn doubling_devices_doubles_capacity() {
+        let one = DeviceGroup::new(1, small_spec(1000));
+        let two = DeviceGroup::new(2, small_spec(1000));
+        let fits = |g: &DeviceGroup| {
+            let mut n = 0;
+            while g.place(300).is_some() {
+                n += 1;
+            }
+            n
+        };
+        assert_eq!(fits(&one), 3);
+        assert_eq!(fits(&two), 6);
+    }
+
+    #[test]
+    fn aggregate_time_is_max_over_devices() {
+        let group = DeviceGroup::new(2, GpuSpec::default());
+        group.device(0).launch(4, |ctx| ctx.flops(1_000_000));
+        group.device(1).launch(1, |ctx| ctx.flops(10_000));
+        let t0 = group.device(0).elapsed_seconds();
+        assert!((group.elapsed_seconds() - t0).abs() < 1e-15);
+        group.reset_clocks();
+        assert_eq!(group.elapsed_seconds(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn zero_devices_rejected() {
+        DeviceGroup::new(0, GpuSpec::default());
+    }
+}

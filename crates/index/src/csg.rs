@@ -1,0 +1,220 @@
+//! Catenated Sliding Window Group (CSG) alignment arithmetic.
+//!
+//! Conventions (paper §4.3, Fig. 5):
+//!
+//! * The master query `MQ` has length `D`; *sliding windows* of length `ω`
+//!   exist at every offset and are indexed **from the right**: `SW_b` covers
+//!   query positions `[D−b−ω, D−b−1]`, i.e. `b` points lie strictly to its
+//!   right. There are `D−ω+1` sliding windows.
+//! * The history `C` is cut into *disjoint windows*: `DW_r` covers series
+//!   positions `[rω, (r+1)ω−1]`.
+//! * `CSG_b = {SW_b, SW_{b+ω}, SW_{b+2ω}, …}` for `b ∈ [0, ω)`; the CSG of
+//!   an item query of length `d` is the prefix with `m = ⌊(d−b)/ω⌋`
+//!   windows.
+//! * Aligning `CSG_{i,b}` right-to-left against `{DW_r, DW_{r−1}, …}`
+//!   denotes the candidate segment starting at
+//!   `t = (r−m+1)·ω − (d−b) mod ω` (Lemma 4.1); every candidate has
+//!   exactly one such alignment (Theorem 4.2) given by
+//!   `e = t+d, b = e mod ω, r = e/ω − 1`.
+
+/// One CSG↔disjoint-window alignment, denoting a unique candidate segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Alignment {
+    /// CSG class: identifier `b` of the group's first (rightmost) sliding
+    /// window; equals the number of query points right of `SW_b`.
+    pub b: usize,
+    /// Identifier of the rightmost aligned disjoint window.
+    pub r: usize,
+    /// Number of sliding windows in the item query's CSG
+    /// (`m = ⌊(d−b)/ω⌋`).
+    pub m: usize,
+}
+
+/// Number of sliding windows of a master query of length `d_master`.
+///
+/// # Panics
+/// Panics if `omega == 0` or the query is shorter than one window.
+pub fn sliding_window_count(d_master: usize, omega: usize) -> usize {
+    assert!(omega > 0, "window length must be positive");
+    assert!(d_master >= omega, "master query shorter than one window");
+    d_master - omega + 1
+}
+
+/// Query start position of sliding window `SW_b` in a master query of
+/// length `d_master` (windows are indexed from the right).
+pub fn sliding_window_start(d_master: usize, b: usize, omega: usize) -> usize {
+    d_master - b - omega
+}
+
+/// Number of complete disjoint windows of a series of length `n`.
+pub fn disjoint_window_count(n: usize, omega: usize) -> usize {
+    n / omega
+}
+
+/// Size of the CSG of an item query of length `d` in class `b`
+/// (`m = ⌊(d−b)/ω⌋`, zero when the query is too short for class `b`).
+pub fn csg_len(d: usize, b: usize, omega: usize) -> usize {
+    if d <= b {
+        0
+    } else {
+        (d - b) / omega
+    }
+}
+
+/// Lemma 4.1: the start `t` of the candidate segment denoted by aligning the
+/// CSG of an item query of length `d` (class `b`, `m = csg_len(d, b, ω)`)
+/// with rightmost disjoint window `DW_r`. `None` when the alignment falls
+/// off the front of the series (no such candidate).
+pub fn candidate_start(d: usize, b: usize, r: usize, omega: usize) -> Option<usize> {
+    let m = csg_len(d, b, omega);
+    if m == 0 || m > r + 1 {
+        return None;
+    }
+    let right = (r + 1 - m) * omega;
+    let overhang = (d - b) % omega;
+    right.checked_sub(overhang)
+}
+
+/// Theorem 4.2 (inverse direction): the unique alignment denoting candidate
+/// `C_{t,d}`. `None` when the segment's CSG is empty (`d − b < ω`) —
+/// such candidates carry no windowed bound.
+pub fn alignment_of(t: usize, d: usize, omega: usize) -> Option<Alignment> {
+    let e = t + d; // one past the segment's last position
+    if e < omega {
+        return None;
+    }
+    let b = e % omega;
+    let r = e / omega - 1;
+    let m = csg_len(d, b, omega);
+    if m == 0 || m > r + 1 {
+        return None;
+    }
+    Some(Alignment { b, r, m })
+}
+
+/// Segment end `e = t + d` shared by all item queries aligned at `(b, r)` —
+/// the suffix property that lets one CSG scan serve every item query
+/// (Example 4.2).
+pub fn alignment_end(b: usize, r: usize, omega: usize) -> usize {
+    (r + 1) * omega + b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_example_4_1() {
+        // MQ of length 9, ω = 3: CSG_0 = {SW0, SW3, SW6}, CSG_1 = {SW1, SW4},
+        // CSG_2 = {SW2, SW5}; sliding windows SW0..SW6.
+        assert_eq!(sliding_window_count(9, 3), 7);
+        assert_eq!(csg_len(9, 0, 3), 3);
+        assert_eq!(csg_len(9, 1, 3), 2);
+        assert_eq!(csg_len(9, 2, 3), 2);
+        // Item query IQ0 of length 6: CSG_{0,0} = {SW0, SW3} etc.
+        assert_eq!(csg_len(6, 0, 3), 2);
+        assert_eq!(csg_len(6, 1, 3), 1);
+        assert_eq!(csg_len(6, 2, 3), 1);
+    }
+
+    #[test]
+    fn paper_example_4_2_alignment() {
+        // Fig 4/5: IQ0 (d=6) aligned with {DW3, DW2} → segment C_{6,6};
+        // IQ1 (d=9) aligned with {DW3, DW2, DW1} → C_{3,9}.
+        assert_eq!(candidate_start(6, 0, 3, 3), Some(6));
+        assert_eq!(candidate_start(9, 0, 3, 3), Some(3));
+        // Inverse direction.
+        assert_eq!(alignment_of(6, 6, 3), Some(Alignment { b: 0, r: 3, m: 2 }));
+        assert_eq!(alignment_of(3, 9, 3), Some(Alignment { b: 0, r: 3, m: 3 }));
+        // Both share end e = 12.
+        assert_eq!(alignment_end(0, 3, 3), 12);
+    }
+
+    #[test]
+    fn sliding_window_positions() {
+        // D = 9, ω = 3: SW0 covers [6,8], SW6 covers [0,2].
+        assert_eq!(sliding_window_start(9, 0, 3), 6);
+        assert_eq!(sliding_window_start(9, 6, 3), 0);
+    }
+
+    #[test]
+    fn too_short_item_query_has_no_alignment() {
+        // d − b < ω → empty CSG.
+        assert_eq!(csg_len(5, 3, 3), 0);
+        assert_eq!(alignment_of(10, 2, 3), None);
+        assert_eq!(candidate_start(5, 3, 0, 3), None);
+    }
+
+    #[test]
+    fn alignment_off_front_of_series() {
+        // d = 9, b = 0, ω = 3 needs m = 3 windows; r = 1 has only 2.
+        assert_eq!(candidate_start(9, 0, 1, 3), None);
+        // t would be negative: segment of length 7 ending at e = 6 (t < 0).
+        assert_eq!(candidate_start(7, 0, 1, 3), None);
+    }
+
+    proptest! {
+        /// Theorem 4.2: forward (Lemma 4.1) and inverse maps are mutually
+        /// inverse bijections wherever both are defined.
+        #[test]
+        fn alignment_bijection(
+            t in 0usize..500,
+            d in 1usize..200,
+            omega in 1usize..32,
+        ) {
+            if let Some(a) = alignment_of(t, d, omega) {
+                prop_assert_eq!(csg_len(d, a.b, omega), a.m);
+                prop_assert_eq!(candidate_start(d, a.b, a.r, omega), Some(t));
+                prop_assert_eq!(alignment_end(a.b, a.r, omega), t + d);
+            }
+        }
+
+        /// Forward then inverse round-trips.
+        #[test]
+        fn forward_then_inverse(
+            d in 1usize..200,
+            b in 0usize..32,
+            r in 0usize..64,
+            omega in 1usize..32,
+        ) {
+            prop_assume!(b < omega);
+            if let Some(t) = candidate_start(d, b, r, omega) {
+                let m = csg_len(d, b, omega);
+                prop_assert_eq!(alignment_of(t, d, omega), Some(Alignment { b, r, m }));
+            }
+        }
+
+        /// Distinct candidates of the same item query map to distinct
+        /// alignments (injectivity).
+        #[test]
+        fn distinct_candidates_distinct_alignments(
+            t1 in 0usize..300,
+            t2 in 0usize..300,
+            d in 1usize..100,
+            omega in 1usize..16,
+        ) {
+            prop_assume!(t1 != t2);
+            let a1 = alignment_of(t1, d, omega);
+            let a2 = alignment_of(t2, d, omega);
+            if let (Some(a1), Some(a2)) = (a1, a2) {
+                prop_assert_ne!((a1.b, a1.r), (a2.b, a2.r));
+            }
+        }
+
+        /// Every sufficiently long candidate fully inside the disjoint-window
+        /// region has an alignment — the coverage guarantee behind
+        /// "we can get the lower bounds between IQ and every candidate".
+        #[test]
+        fn coverage_of_long_candidates(
+            t in 0usize..300,
+            extra in 0usize..100,
+            omega in 1usize..16,
+        ) {
+            // d ≥ 2ω − 1 guarantees m ≥ 1 for every class b ≤ ω−1.
+            let d = 2 * omega - 1 + extra;
+            let a = alignment_of(t, d, omega);
+            prop_assert!(a.is_some());
+        }
+    }
+}

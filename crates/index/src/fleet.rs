@@ -1,0 +1,405 @@
+//! Fleet-batched suffix kNN search: many sensors, one grid per phase.
+//!
+//! The paper's deployment (Fig. 3, §4.4) runs ~1000 sensors on one GPU:
+//! "the SMiLer Index can easily scale up with multiple sensors, where we
+//! only need to create multiple SMiLer Indexes and invoke more blocks."
+//! Per-sensor searching (as [`crate::SmilerIndex::search`] does) launches a
+//! handful of blocks at a time, leaving most SMs idle; this module batches
+//! the fleet's work so that each phase — group-level bounds, threshold
+//! probes, filtering, verification, selection — is **one launch whose grid
+//! spans every sensor**, keeping the device occupied and slashing launch
+//! overhead.
+//!
+//! The outputs are bit-identical to running each sensor's
+//! [`crate::SmilerIndex::search`] in isolation (tested), because the
+//! batching only regroups independent blocks.
+
+use crate::group::{self, GroupBounds};
+use crate::search::{Neighbor, SearchOutput, SearchStats, SmilerIndex, ThresholdStrategy};
+use smiler_gpu::kselect;
+use smiler_gpu::Device;
+
+/// Scratch describing one (sensor, item-query) task in a batched phase.
+#[derive(Debug, Clone)]
+struct ItemTask {
+    sensor: usize,
+    item: usize,
+    d: usize,
+}
+
+/// Run the suffix kNN search for a whole fleet, batching every phase into a
+/// single launch across sensors. `max_ends[s]` bounds sensor `s`'s
+/// candidate ends (callers pass `len − h` as for the single-sensor search).
+///
+/// Updates each index's continuous-reuse state exactly as its own `search`
+/// would.
+///
+/// # Panics
+/// Panics if `indexes` and `max_ends` lengths differ, or any `max_end`
+/// exceeds its sensor's history.
+pub fn fleet_search(
+    device: &Device,
+    indexes: &mut [&mut SmilerIndex],
+    max_ends: &[usize],
+) -> Vec<SearchOutput> {
+    assert_eq!(indexes.len(), max_ends.len(), "one max_end per sensor");
+    if indexes.is_empty() {
+        return Vec::new();
+    }
+    for (idx, &me) in indexes.iter().zip(max_ends) {
+        assert!(me <= idx.series().len(), "max_end beyond history");
+    }
+
+    // ---- Phase 1: group-level lower bounds, one grid over all sensors. ----
+    let lb_sat0 = device.saturated_seconds();
+    let lb_sim0 = device.elapsed_seconds();
+    let total_sat0 = lb_sat0;
+    let total_sim0 = lb_sim0;
+    let bounds = fleet_group_bounds(device, indexes, max_ends);
+    let lb_sat = device.saturated_seconds() - lb_sat0;
+    let lb_sim = device.elapsed_seconds() - lb_sim0;
+
+    // Flatten (sensor, item) tasks.
+    let mut tasks: Vec<ItemTask> = Vec::new();
+    for (s, index) in indexes.iter().enumerate() {
+        for (i, &d) in index.params().lengths.iter().enumerate() {
+            tasks.push(ItemTask { sensor: s, item: i, d });
+        }
+    }
+
+    // Per-task mode-resolved bound arrays.
+    let lbw: Vec<Vec<f64>> = tasks
+        .iter()
+        .map(|t| bounds[t.sensor].mode_bounds(t.item, indexes[t.sensor].bound_mode()))
+        .collect();
+
+    // ---- Phase 2a: thresholds. Continuous-reuse probes and cold-start
+    //      k-smallest-LB probes are gathered fleet-wide, verified in one
+    //      launch, and turned into per-task τ. ----
+    let k_of = |t: &ItemTask| indexes[t.sensor].params().k_max;
+
+    // Cold-start tasks need their k smallest lower bounds selected first.
+    let cold: Vec<usize> = tasks
+        .iter()
+        .enumerate()
+        .filter(|(ti, t)| {
+            indexes[t.sensor].prev_neighbor(t.item).is_none() && lbw[*ti].len() > k_of(t)
+        })
+        .map(|(ti, _)| ti)
+        .collect();
+    let cold_rows: Vec<Vec<f64>> = cold.iter().map(|&ti| lbw[ti].clone()).collect();
+    let cold_ks: Vec<usize> = cold.iter().map(|&ti| k_of(&tasks[ti])).collect();
+    let cold_probe_sets = if cold.is_empty() {
+        Vec::new()
+    } else {
+        kselect::launch_multi_select(device, &cold_rows, &cold_ks).results
+    };
+
+    // Assemble one fleet-wide probe list: (task, candidate start).
+    let mut probes: Vec<(usize, usize)> = Vec::new();
+    for (ti, t) in tasks.iter().enumerate() {
+        if let Some(prev) = indexes[t.sensor].prev_neighbor(t.item) {
+            if prev + t.d <= indexes[t.sensor].series().len() {
+                probes.push((ti, prev));
+                continue;
+            }
+        }
+        if let Some(pos) = cold.iter().position(|&c| c == ti) {
+            match indexes[t.sensor].threshold() {
+                // Exact: verify all k best-LB candidates; τ = max of their
+                // DTWs bounds the k-th NN distance from above.
+                ThresholdStrategy::ExactKBest => {
+                    for &cand in &cold_probe_sets[pos] {
+                        probes.push((ti, cand));
+                    }
+                }
+                // Paper method 1: verify only the candidate with the k-th
+                // smallest lower bound.
+                ThresholdStrategy::PaperKthLb => {
+                    if let Some(&kth) = cold_probe_sets[pos].last() {
+                        probes.push((ti, kth));
+                    }
+                }
+            }
+        }
+        // Tasks with ≤ k candidates get τ = ∞ below (no probes needed).
+    }
+    let probe_dists = fleet_verify(device, indexes, &tasks, &probes);
+
+    // τ per task: max over its probes (exact for the ExactKBest strategy;
+    // the single continuous probe matches the paper's reuse threshold).
+    let mut tau = vec![f64::INFINITY; tasks.len()];
+    let mut verified: Vec<Vec<(usize, f64)>> = vec![Vec::new(); tasks.len()];
+    for (&(ti, cand), &dist) in probes.iter().zip(&probe_dists) {
+        verified[ti].push((cand, dist));
+        if tau[ti] == f64::INFINITY {
+            tau[ti] = dist;
+        } else {
+            tau[ti] = tau[ti].max(dist);
+        }
+    }
+    for (ti, t) in tasks.iter().enumerate() {
+        if lbw[ti].len() <= k_of(t) {
+            tau[ti] = f64::INFINITY;
+        }
+    }
+
+    // ---- Phase 2b: filter — one block per task (pure scans). ----
+    let filter = device.launch(tasks.len(), |ctx| {
+        let ti = ctx.block_id();
+        ctx.read_global(lbw[ti].len() as u64);
+        ctx.flops(lbw[ti].len() as u64);
+        let skip: Vec<usize> = verified[ti].iter().map(|&(c, _)| c).collect();
+        (0..lbw[ti].len())
+            .filter(|&t| lbw[ti][t] <= tau[ti] && !skip.contains(&t))
+            .collect::<Vec<usize>>()
+    });
+
+    // ---- Phase 2c: verification — one grid over every survivor. ----
+    let mut survivors: Vec<(usize, usize)> = Vec::new();
+    for (ti, kept) in filter.results.iter().enumerate() {
+        for &cand in kept {
+            survivors.push((ti, cand));
+        }
+    }
+    let verify_sat0 = device.saturated_seconds();
+    let verify_sim0 = device.elapsed_seconds();
+    let survivor_dists = fleet_verify(device, indexes, &tasks, &survivors);
+    let verify_sat = device.saturated_seconds() - verify_sat0;
+    let verify_sim = device.elapsed_seconds() - verify_sim0;
+    for (&(ti, cand), &dist) in survivors.iter().zip(&survivor_dists) {
+        verified[ti].push((cand, dist));
+    }
+
+    // ---- Phase 3: selection — one grid, one block per task. ----
+    let rows: Vec<Vec<f64>> =
+        verified.iter().map(|v| v.iter().map(|&(_, d)| d).collect()).collect();
+    let ks: Vec<usize> = tasks.iter().map(k_of).collect();
+    let picks = kselect::launch_multi_select(device, &rows, &ks).results;
+
+    // ---- Assemble per-sensor outputs and update continuous state. ----
+    // Phase costs are shared launches; attribute them evenly per sensor so
+    // the stats stay comparable with the per-sensor search path.
+    let n = indexes.len() as f64;
+    let total_sat = device.saturated_seconds() - total_sat0;
+    let total_sim = device.elapsed_seconds() - total_sim0;
+    let mut outputs: Vec<SearchOutput> = indexes
+        .iter()
+        .map(|_| SearchOutput {
+            neighbors: Vec::new(),
+            stats: SearchStats {
+                verify_sim_seconds: verify_sim / n,
+                verify_saturated_seconds: verify_sat / n,
+                lb_sim_seconds: lb_sim / n,
+                lb_saturated_seconds: lb_sat / n,
+                total_sim_seconds: total_sim / n,
+                total_saturated_seconds: total_sat / n,
+                ..SearchStats::default()
+            },
+        })
+        .collect();
+    for ((ti, task), pick) in tasks.iter().enumerate().zip(&picks) {
+        let neighbors: Vec<Neighbor> = pick
+            .iter()
+            .map(|&i| Neighbor { start: verified[ti][i].0, distance: verified[ti][i].1 })
+            .collect();
+        let out = &mut outputs[task.sensor];
+        out.neighbors.push(neighbors);
+        out.stats.candidates.push(lbw[ti].len());
+        out.stats.unfiltered.push(verified[ti].len());
+    }
+    for (index, out) in indexes.iter_mut().zip(&outputs) {
+        index.set_prev_neighbors(out.neighbors.clone());
+    }
+    outputs
+}
+
+/// Group-level bounds for all sensors in ONE launch: the grid is
+/// `ω` CSG-class blocks per sensor.
+fn fleet_group_bounds(
+    device: &Device,
+    indexes: &[&mut SmilerIndex],
+    max_ends: &[usize],
+) -> Vec<GroupBounds> {
+    // Per-sensor block ranges.
+    let mut blocks_of: Vec<(usize, usize)> = Vec::with_capacity(indexes.len()); // (sensor, b)
+    for (s, index) in indexes.iter().enumerate() {
+        let omega = index.params().omega;
+        let classes = omega.min(index.window_index().sw_count());
+        for b in 0..classes {
+            blocks_of.push((s, b));
+        }
+    }
+    let report = device.launch(blocks_of.len(), |ctx| {
+        let (s, b) = blocks_of[ctx.block_id()];
+        let index = &indexes[s];
+        group::class_pass(ctx, index.window_index(), &index.params().lengths, max_ends[s], b)
+    });
+
+    // Scatter per sensor.
+    let mut out: Vec<GroupBounds> = indexes
+        .iter()
+        .zip(max_ends)
+        .map(|(index, &max_end)| {
+            let lengths = &index.params().lengths;
+            let mut eq = Vec::with_capacity(lengths.len());
+            let mut ec = Vec::with_capacity(lengths.len());
+            for &d in lengths {
+                let count = if max_end >= d { max_end - d + 1 } else { 0 };
+                eq.push(vec![0.0; count]);
+                ec.push(vec![0.0; count]);
+            }
+            GroupBounds { lengths: lengths.clone(), eq, ec }
+        })
+        .collect();
+    for ((s, _), rows) in blocks_of.iter().zip(report.results) {
+        for (i, t, s_eq, s_ec) in rows {
+            out[*s].eq[i][t] = s_eq;
+            out[*s].ec[i][t] = s_ec;
+        }
+    }
+    out
+}
+
+/// Verify `(task, candidate)` pairs across the fleet in one launch,
+/// chunked 256 per block. Returns distances in input order.
+fn fleet_verify(
+    device: &Device,
+    indexes: &[&mut SmilerIndex],
+    tasks: &[ItemTask],
+    pairs: &[(usize, usize)],
+) -> Vec<f64> {
+    const THREADS: usize = 256;
+    if pairs.is_empty() {
+        return Vec::new();
+    }
+    let blocks = pairs.len().div_ceil(THREADS);
+    let report = device.launch(blocks, |ctx| {
+        let lo = ctx.block_id() * THREADS;
+        let hi = (lo + THREADS).min(pairs.len());
+        let mut out = Vec::with_capacity(hi - lo);
+        for &(ti, cand) in &pairs[lo..hi] {
+            let t = &tasks[ti];
+            let index = &indexes[t.sensor];
+            let rho = index.params().rho;
+            let series = index.series();
+            let query = &series[series.len() - t.d..];
+            ctx.read_global(2 * t.d as u64);
+            ctx.flops(smiler_dtw::dtw_ops_estimate(t.d, rho));
+            ctx.alloc_shared(2 * (2 * rho + 2) * 4).expect("matrix fits shared memory");
+            out.push(smiler_dtw::dtw_compressed(query, &series[cand..cand + t.d], rho));
+        }
+        ctx.sync();
+        out
+    });
+    report.results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::IndexParams;
+
+    fn make_series(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..n)
+            .map(|i| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (i as f64 * 0.17).sin() + (state % 100) as f64 / 60.0
+            })
+            .collect()
+    }
+
+    fn params() -> IndexParams {
+        IndexParams { rho: 3, omega: 4, lengths: vec![8, 12], k_max: 4 }
+    }
+
+    fn build_fleet(n: usize, device: &Device) -> (Vec<SmilerIndex>, Vec<usize>) {
+        let indexes: Vec<SmilerIndex> = (0..n)
+            .map(|s| SmilerIndex::build(device, make_series(260 + 10 * s, s as u64), params()))
+            .collect();
+        let max_ends: Vec<usize> = indexes.iter().map(|i| i.series().len() - 5).collect();
+        (indexes, max_ends)
+    }
+
+    #[test]
+    fn fleet_matches_per_sensor_search() {
+        let device = Device::default_gpu();
+        let (mut fleet, max_ends) = build_fleet(4, &device);
+        let (mut solo, _) = build_fleet(4, &device);
+
+        let mut refs: Vec<&mut SmilerIndex> = fleet.iter_mut().collect();
+        let fleet_out = fleet_search(&device, &mut refs, &max_ends);
+        for (s, index) in solo.iter_mut().enumerate() {
+            let expect = index.search(&device, max_ends[s]);
+            let got = &fleet_out[s];
+            assert_eq!(got.neighbors.len(), expect.neighbors.len());
+            for (gn, en) in got.neighbors.iter().zip(&expect.neighbors) {
+                assert_eq!(gn.len(), en.len(), "sensor {s}");
+                for (g, e) in gn.iter().zip(en) {
+                    assert!(
+                        (g.distance - e.distance).abs() < 1e-9,
+                        "sensor {s}: {g:?} vs {e:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_continuous_steps_match() {
+        let device = Device::default_gpu();
+        let (mut fleet, _) = build_fleet(3, &device);
+        let (mut solo, _) = build_fleet(3, &device);
+        for step in 0..4 {
+            let v = (step as f64 * 0.3).sin();
+            for index in fleet.iter_mut().chain(solo.iter_mut()) {
+                index.advance(&device, v);
+            }
+            let max_ends: Vec<usize> = fleet.iter().map(|i| i.series().len() - 5).collect();
+            let mut refs: Vec<&mut SmilerIndex> = fleet.iter_mut().collect();
+            let fleet_out = fleet_search(&device, &mut refs, &max_ends);
+            for (s, index) in solo.iter_mut().enumerate() {
+                let expect = index.search(&device, max_ends[s]);
+                for (gn, en) in fleet_out[s].neighbors.iter().zip(&expect.neighbors) {
+                    for (g, e) in gn.iter().zip(en) {
+                        assert!(
+                            (g.distance - e.distance).abs() < 1e-9,
+                            "step {step} sensor {s}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_uses_far_fewer_launches() {
+        let dev_fleet = Device::default_gpu();
+        let dev_solo = Device::default_gpu();
+        let (mut fleet, max_ends) = build_fleet(6, &dev_fleet);
+        let (mut solo, _) = build_fleet(6, &dev_solo);
+        dev_fleet.reset_clock();
+        dev_solo.reset_clock();
+        let mut refs: Vec<&mut SmilerIndex> = fleet.iter_mut().collect();
+        fleet_search(&dev_fleet, &mut refs, &max_ends);
+        for (s, index) in solo.iter_mut().enumerate() {
+            index.search(&dev_solo, max_ends[s]);
+        }
+        assert!(
+            dev_fleet.kernel_launches() * 2 < dev_solo.kernel_launches(),
+            "fleet launches {} vs solo {}",
+            dev_fleet.kernel_launches(),
+            dev_solo.kernel_launches()
+        );
+    }
+
+    #[test]
+    fn empty_fleet_is_fine() {
+        let device = Device::default_gpu();
+        let mut refs: Vec<&mut SmilerIndex> = Vec::new();
+        assert!(fleet_search(&device, &mut refs, &[]).is_empty());
+    }
+}

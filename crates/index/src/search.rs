@@ -1,0 +1,590 @@
+//! The SMiLer index: suffix kNN search with filtering, verification and
+//! selection (paper §4.3.3), plus continuous maintenance.
+//!
+//! A [`SmilerIndex`] owns one sensor's normalised history, its envelope and
+//! the window-level index. [`SmilerIndex::search`] answers the Suffix kNN
+//! Search for every item-query length at once; [`SmilerIndex::advance`]
+//! absorbs one new observation, rotating the window level (Remark 1) and
+//! carrying the previous answer forward as the next filter threshold
+//! (the continuous-reuse threshold of §4.3.3).
+
+use crate::group;
+use crate::window::WindowIndex;
+use smiler_gpu::kselect;
+use smiler_gpu::Device;
+use smiler_timeseries::Envelope;
+
+/// Parameters of the suffix kNN index (paper Table 2 defaults).
+#[derive(Debug, Clone)]
+pub struct IndexParams {
+    /// Sakoe-Chiba warping width ρ.
+    pub rho: usize,
+    /// Window length ω.
+    pub omega: usize,
+    /// Item-query lengths — the Ensemble Length Vector, strictly ascending;
+    /// the largest is the master-query length `D`.
+    pub lengths: Vec<usize>,
+    /// Neighbours to return per item query — the largest entry of the
+    /// Ensemble kNN Vector (smaller k's take prefixes, §4.1).
+    pub k_max: usize,
+}
+
+impl Default for IndexParams {
+    fn default() -> Self {
+        IndexParams { rho: 8, omega: 16, lengths: vec![32, 64, 96], k_max: 32 }
+    }
+}
+
+impl IndexParams {
+    /// Master-query length `D` (the largest item query).
+    pub fn d_master(&self) -> usize {
+        *self.lengths.last().expect("at least one length")
+    }
+
+    fn validate(&self) {
+        assert!(self.omega > 0, "ω must be positive");
+        assert!(!self.lengths.is_empty(), "ELV must not be empty");
+        assert!(
+            self.lengths.windows(2).all(|w| w[0] < w[1]),
+            "ELV must be strictly ascending"
+        );
+        assert!(self.lengths[0] >= self.omega, "shortest item query must cover one window");
+        assert!(self.k_max > 0, "k must be positive");
+    }
+}
+
+/// Which lower bound drives the filter — the Table 3 ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundMode {
+    /// Filter with `ΣLBEQ` only.
+    Eq,
+    /// Filter with `ΣLBEC` only.
+    Ec,
+    /// Filter with the enhanced bound `max(ΣLBEQ, ΣLBEC)` (the paper's
+    /// `LBen`, default).
+    En,
+}
+
+/// How the filter threshold τ is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ThresholdStrategy {
+    /// Paper method 1: verify the candidate with the k-th smallest lower
+    /// bound; τ is its true DTW. Cheap but can very rarely prune a true
+    /// neighbour when lower-bound order disagrees with DTW order.
+    PaperKthLb,
+    /// Verify the k candidates with the smallest lower bounds; τ is the
+    /// *largest* of their DTWs — an upper bound on the k-th NN distance, so
+    /// the filter is exact. Costs k−1 extra verifications.
+    ExactKBest,
+}
+
+/// One retrieved neighbour segment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Start position `t` of the segment in the sensor history.
+    pub start: usize,
+    /// Banded DTW distance to the item query.
+    pub distance: f64,
+}
+
+/// Instrumentation of one search, feeding Table 3 / Fig 7 / Fig 8.
+#[derive(Debug, Clone, Default)]
+pub struct SearchStats {
+    /// Candidate population per item query.
+    pub candidates: Vec<usize>,
+    /// Candidates that survived filtering (and were DTW-verified) per item
+    /// query — the "number" column of Table 3.
+    pub unfiltered: Vec<usize>,
+    /// Simulated device seconds (makespan) spent verifying candidates —
+    /// the "time" column of Table 3.
+    pub verify_sim_seconds: f64,
+    /// Device-saturated seconds spent verifying (the many-sensor regime;
+    /// see `smiler_gpu::KernelStats::saturated_seconds`).
+    pub verify_saturated_seconds: f64,
+    /// Simulated device seconds spent computing group-level lower bounds —
+    /// the Fig 8 measurement.
+    pub lb_sim_seconds: f64,
+    /// Device-saturated seconds of the group-level lower-bound pass.
+    pub lb_saturated_seconds: f64,
+    /// Total simulated seconds of the search (bounds + filter + verify +
+    /// select).
+    pub total_sim_seconds: f64,
+    /// Total device-saturated seconds of the search.
+    pub total_saturated_seconds: f64,
+}
+
+/// Result of one suffix kNN search.
+#[derive(Debug, Clone)]
+pub struct SearchOutput {
+    /// Per item query (ELV order): up to `k_max` neighbours sorted by
+    /// ascending DTW distance.
+    pub neighbors: Vec<Vec<Neighbor>>,
+    /// Instrumentation.
+    pub stats: SearchStats,
+}
+
+/// The per-sensor SMiLer index.
+#[derive(Debug)]
+pub struct SmilerIndex {
+    params: IndexParams,
+    bound_mode: BoundMode,
+    threshold: ThresholdStrategy,
+    series: Vec<f64>,
+    series_env: Envelope,
+    windex: WindowIndex,
+    /// Previous step's answer; start positions feed the continuous-reuse
+    /// threshold (§4.3.3 method 2).
+    prev_neighbors: Option<Vec<Vec<Neighbor>>>,
+}
+
+impl SmilerIndex {
+    /// Build the index over a sensor's normalised history.
+    ///
+    /// # Panics
+    /// Panics if the history is shorter than the master query or parameters
+    /// are inconsistent.
+    pub fn build(device: &Device, series: Vec<f64>, params: IndexParams) -> Self {
+        params.validate();
+        let d = params.d_master();
+        assert!(series.len() >= d, "history shorter than the master query");
+        let series_env = Envelope::compute(&series, params.rho);
+        let query = &series[series.len() - d..];
+        let query_env = Envelope::compute(query, params.rho);
+        let windex = WindowIndex::build(
+            device,
+            &series,
+            &series_env,
+            query,
+            &query_env,
+            params.omega,
+            params.rho,
+        );
+        SmilerIndex {
+            params,
+            bound_mode: BoundMode::En,
+            threshold: ThresholdStrategy::ExactKBest,
+            series,
+            series_env,
+            windex,
+            prev_neighbors: None,
+        }
+    }
+
+    /// Use a different filter bound (Table 3 ablation).
+    pub fn with_bound_mode(mut self, mode: BoundMode) -> Self {
+        self.bound_mode = mode;
+        self
+    }
+
+    /// Use a different threshold strategy.
+    pub fn with_threshold(mut self, strategy: ThresholdStrategy) -> Self {
+        self.threshold = strategy;
+        self
+    }
+
+    /// The index parameters.
+    pub fn params(&self) -> &IndexParams {
+        &self.params
+    }
+
+    /// The active filter bound.
+    pub fn bound_mode(&self) -> BoundMode {
+        self.bound_mode
+    }
+
+    /// The active threshold strategy.
+    pub fn threshold(&self) -> ThresholdStrategy {
+        self.threshold
+    }
+
+    /// Borrow the window-level index (used by the fleet-batched search).
+    pub(crate) fn window_index(&self) -> &WindowIndex {
+        &self.windex
+    }
+
+    /// Start of the previous step's k-th nearest neighbour for item query
+    /// `i`, if a previous answer exists (continuous-reuse threshold).
+    pub(crate) fn prev_neighbor(&self, i: usize) -> Option<usize> {
+        self.prev_neighbors
+            .as_ref()
+            .and_then(|prev| prev.get(i))
+            .and_then(|v| v.last())
+            .map(|nb| nb.start)
+    }
+
+    /// Install the step's answer as the next continuous-reuse state (used
+    /// by the fleet-batched search, mirroring what `search` does).
+    pub(crate) fn set_prev_neighbors(&mut self, neighbors: Vec<Vec<Neighbor>>) {
+        self.prev_neighbors = Some(neighbors);
+    }
+
+    /// The sensor history (normalised).
+    pub fn series(&self) -> &[f64] {
+        &self.series
+    }
+
+    /// Device-memory footprint: history + envelope + posting lists — the
+    /// quantity the Fig 12c capacity experiment divides 6 GB by.
+    pub fn device_bytes(&self) -> usize {
+        let f = std::mem::size_of::<f64>();
+        self.series.len() * f        // history
+            + self.series_env.len() * 2 * f // envelope
+            + self.windex.device_bytes()
+    }
+
+    /// Absorb one new observation: append to history and rotate the window
+    /// level (Remark 1).
+    pub fn advance(&mut self, device: &Device, value: f64) {
+        self.series.push(value);
+        self.series_env.extend_to(&self.series);
+        let d = self.params.d_master();
+        let query = self.series[self.series.len() - d..].to_vec();
+        let query_env = Envelope::compute(&query, self.params.rho);
+        self.windex.advance(device, &self.series, &self.series_env, &query, &query_env);
+    }
+
+    /// The current item query of length `d` (suffix of the history).
+    fn item_query(&self, d: usize) -> &[f64] {
+        &self.series[self.series.len() - d..]
+    }
+
+    /// Suffix kNN search over candidates whose end does not exceed
+    /// `max_end` (callers pass `len − h` so every neighbour has its
+    /// h-step-ahead label).
+    ///
+    /// # Panics
+    /// Panics if `max_end` exceeds the history length.
+    pub fn search(&mut self, device: &Device, max_end: usize) -> SearchOutput {
+        assert!(max_end <= self.series.len(), "max_end beyond history");
+        let start_clock = device.elapsed_seconds();
+        let start_saturated = device.saturated_seconds();
+        let params = self.params.clone();
+        let rho = params.rho;
+        let k = params.k_max;
+
+        // Phase 1: group-level lower bounds (one pass over posting lists).
+        let lb_clock = device.elapsed_seconds();
+        let lb_sat = device.saturated_seconds();
+        let bounds = group::compute_group_bounds(device, &self.windex, &params.lengths, max_end);
+        let lb_sim_seconds = device.elapsed_seconds() - lb_clock;
+        let lb_saturated_seconds = device.saturated_seconds() - lb_sat;
+
+        let mut neighbors: Vec<Vec<Neighbor>> = Vec::with_capacity(params.lengths.len());
+        let mut stats = SearchStats {
+            lb_sim_seconds,
+            lb_saturated_seconds,
+            ..Default::default()
+        };
+
+        for (i, &d) in params.lengths.iter().enumerate() {
+            let query = self.item_query(d).to_vec();
+            let lbw = bounds.mode_bounds(i, self.bound_mode);
+            stats.candidates.push(lbw.len());
+            if lbw.is_empty() {
+                neighbors.push(Vec::new());
+                continue;
+            }
+
+            // Phase 2a: threshold. Already-verified candidates are cached so
+            // they are not re-verified in phase 2c.
+            let mut verified: Vec<(usize, f64)> = Vec::new();
+            let tau = self.pick_threshold(device, i, d, &query, &lbw, k, &mut verified);
+
+            // Phase 2b: filter by τ. A pure scan — kept as its own launch so
+            // filtering and verification never mix in one kernel (§4.4).
+            let filter = device.launch(1, |ctx| {
+                ctx.read_global(lbw.len() as u64);
+                ctx.flops(lbw.len() as u64);
+                let skip: Vec<usize> = verified.iter().map(|&(t, _)| t).collect();
+                (0..lbw.len())
+                    .filter(|&t| lbw[t] <= tau && !skip.contains(&t))
+                    .collect::<Vec<usize>>()
+            });
+            let to_verify = filter.results.into_iter().next().expect("one filter block");
+
+            // Phase 2c: verification with the compressed-matrix DTW kernel.
+            let verify_clock = device.elapsed_seconds();
+            let verify_sat = device.saturated_seconds();
+            let distances =
+                verify_candidates(device, &self.series, &query, rho, &to_verify);
+            stats.verify_sim_seconds += device.elapsed_seconds() - verify_clock;
+            stats.verify_saturated_seconds += device.saturated_seconds() - verify_sat;
+            verified.extend(to_verify.iter().copied().zip(distances));
+            stats.unfiltered.push(verified.len());
+
+            // Phase 3: k-selection (one block per query, §4.3.3).
+            let dists: Vec<f64> = verified.iter().map(|&(_, dist)| dist).collect();
+            let sel = device.launch(1, |ctx| kselect::select_k_smallest(ctx, &dists, k));
+            let picked = sel.results.into_iter().next().expect("one selection block");
+            neighbors.push(
+                picked
+                    .into_iter()
+                    .map(|idx| Neighbor { start: verified[idx].0, distance: verified[idx].1 })
+                    .collect(),
+            );
+        }
+
+        stats.total_sim_seconds = device.elapsed_seconds() - start_clock;
+        stats.total_saturated_seconds = device.saturated_seconds() - start_saturated;
+        self.prev_neighbors = Some(neighbors.clone());
+        SearchOutput { neighbors, stats }
+    }
+
+    /// Threshold τ for item query `i`. Verified probes are appended to
+    /// `verified`.
+    #[allow(clippy::too_many_arguments)] // mirrors the paper's phase inputs
+    fn pick_threshold(
+        &self,
+        device: &Device,
+        i: usize,
+        d: usize,
+        query: &[f64],
+        lbw: &[f64],
+        k: usize,
+        verified: &mut Vec<(usize, f64)>,
+    ) -> f64 {
+        let rho = self.params.rho;
+
+        // Continuous reuse (§4.3.3 method 2): the previous step's k-th NN
+        // segment is probably still close; its DTW to the *current* query is
+        // a tight τ.
+        if let Some(prev) = &self.prev_neighbors {
+            if let Some(nb) = prev.get(i).and_then(|v| v.last()) {
+                let t = nb.start;
+                if t + d <= self.series.len() {
+                    let dist = verify_candidates(device, &self.series, query, rho, &[t]);
+                    verified.push((t, dist[0]));
+                    return dist[0];
+                }
+            }
+        }
+
+        // Initial step: probe by lower-bound rank.
+        if lbw.len() <= k {
+            return f64::INFINITY;
+        }
+        let probes = device.launch(1, |ctx| match self.threshold {
+            ThresholdStrategy::PaperKthLb => {
+                let sel = kselect::select_k_smallest(ctx, lbw, k);
+                vec![*sel.last().expect("k-th smallest exists")]
+            }
+            ThresholdStrategy::ExactKBest => kselect::select_k_smallest(ctx, lbw, k),
+        });
+        let probes = probes.results.into_iter().next().expect("one block");
+        let dists = verify_candidates(device, &self.series, query, rho, &probes);
+        let tau = dists.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        verified.extend(probes.into_iter().zip(dists));
+        tau
+    }
+}
+
+/// DTW verification kernel: one block verifies up to 256 candidates with the
+/// compressed warping matrix (Appendix E). Shared-memory accounting mirrors
+/// the CUDA kernel: the query plus one `2×(2ρ+2)` single-precision matrix
+/// per thread.
+pub(crate) fn verify_candidates(
+    device: &Device,
+    series: &[f64],
+    query: &[f64],
+    rho: usize,
+    starts: &[usize],
+) -> Vec<f64> {
+    const THREADS: usize = 256;
+    if starts.is_empty() {
+        return Vec::new();
+    }
+    let d = query.len();
+    let blocks = starts.len().div_ceil(THREADS);
+    let report = device.launch(blocks, |ctx| {
+        let lo = ctx.block_id() * THREADS;
+        let hi = (lo + THREADS).min(starts.len());
+        let lanes = hi - lo;
+        // Query in shared (single precision on the real device) plus one
+        // compressed matrix per thread.
+        let matrix_bytes = 2 * (2 * rho + 2) * 4;
+        ctx.alloc_shared(d * 4 + lanes * matrix_bytes)
+            .expect("compressed matrix must fit shared memory");
+        ctx.read_global(d as u64); // stage the query once per block
+        let ops = smiler_dtw::dtw_ops_estimate(d, rho);
+        let mut out = Vec::with_capacity(lanes);
+        for &t in &starts[lo..hi] {
+            ctx.read_global(d as u64);
+            ctx.flops(ops);
+            ctx.access_shared(ops / 2);
+            out.push(smiler_dtw::dtw_compressed(query, &series[t..t + d], rho));
+        }
+        ctx.sync();
+        out
+    });
+    report.results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_series(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..n)
+            .map(|i| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                // Periodic base + noise: realistic enough for recall tests.
+                (i as f64 * 0.13).sin() * 2.0 + (state % 100) as f64 / 100.0
+            })
+            .collect()
+    }
+
+    fn small_params() -> IndexParams {
+        IndexParams { rho: 3, omega: 4, lengths: vec![8, 12, 16], k_max: 5 }
+    }
+
+    /// Brute-force reference kNN.
+    fn brute_force(series: &[f64], d: usize, rho: usize, k: usize, max_end: usize) -> Vec<Neighbor> {
+        let query = &series[series.len() - d..];
+        let mut all: Vec<Neighbor> = (0..=max_end.saturating_sub(d))
+            .map(|t| Neighbor {
+                start: t,
+                distance: smiler_dtw::dtw_banded(query, &series[t..t + d], rho),
+            })
+            .collect();
+        all.sort_by(|a, b| a.distance.partial_cmp(&b.distance).unwrap().then(a.start.cmp(&b.start)));
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn exact_strategy_matches_brute_force() {
+        let device = Device::default_gpu();
+        let series = make_series(300, 1);
+        let params = small_params();
+        let mut index = SmilerIndex::build(&device, series.clone(), params.clone());
+        let max_end = series.len() - 5;
+        let out = index.search(&device, max_end);
+        for (i, &d) in params.lengths.iter().enumerate() {
+            let expect = brute_force(&series, d, params.rho, params.k_max, max_end);
+            let got = &out.neighbors[i];
+            assert_eq!(got.len(), expect.len(), "item {i}");
+            for (g, e) in got.iter().zip(&expect) {
+                assert!(
+                    (g.distance - e.distance).abs() < 1e-9,
+                    "item {i}: got {:?} expected {:?}",
+                    g,
+                    e
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_threshold_has_high_recall() {
+        let device = Device::default_gpu();
+        let series = make_series(400, 2);
+        let params = small_params();
+        let mut index = SmilerIndex::build(&device, series.clone(), params.clone())
+            .with_threshold(ThresholdStrategy::PaperKthLb);
+        let max_end = series.len() - 4;
+        let out = index.search(&device, max_end);
+        for (i, &d) in params.lengths.iter().enumerate() {
+            let expect = brute_force(&series, d, params.rho, params.k_max, max_end);
+            let expect_dists: Vec<f64> = expect.iter().map(|n| n.distance).collect();
+            let hit = out.neighbors[i]
+                .iter()
+                .filter(|n| expect_dists.iter().any(|&e| (e - n.distance).abs() < 1e-9))
+                .count();
+            assert!(
+                hit * 10 >= expect.len() * 8,
+                "item {i}: recall {hit}/{} too low",
+                expect.len()
+            );
+        }
+    }
+
+    #[test]
+    fn continuous_search_tracks_brute_force() {
+        let device = Device::default_gpu();
+        let mut series = make_series(260, 3);
+        let params = small_params();
+        let mut index = SmilerIndex::build(&device, series.clone(), params.clone());
+        let max_end = series.len() - 4;
+        index.search(&device, max_end);
+
+        let future = make_series(10, 77);
+        for &v in &future {
+            series.push(v);
+            index.advance(&device, v);
+            let max_end = series.len() - 4;
+            let out = index.search(&device, max_end);
+            // Continuous-reuse thresholds are approximate; demand ≥ 80%
+            // recall of the true kNN distances at every step.
+            for (i, &d) in params.lengths.iter().enumerate() {
+                let expect = brute_force(&series, d, params.rho, params.k_max, max_end);
+                let hit = out.neighbors[i]
+                    .iter()
+                    .filter(|n| {
+                        expect.iter().any(|e| (e.distance - n.distance).abs() < 1e-9)
+                    })
+                    .count();
+                assert!(
+                    hit * 10 >= expect.len() * 8,
+                    "step recall {hit}/{} item {i}",
+                    expect.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn filtering_reduces_verification() {
+        let device = Device::default_gpu();
+        let series = make_series(600, 4);
+        let params = IndexParams { rho: 3, omega: 4, lengths: vec![16], k_max: 5 };
+        let mut index = SmilerIndex::build(&device, series, params);
+        let out = index.search(&device, 590);
+        assert!(out.stats.unfiltered[0] < out.stats.candidates[0] / 2,
+            "filter too weak: {} of {}", out.stats.unfiltered[0], out.stats.candidates[0]);
+    }
+
+    #[test]
+    fn en_filters_at_least_as_well_as_each_direction() {
+        let device = Device::default_gpu();
+        let series = make_series(500, 5);
+        let params = IndexParams { rho: 3, omega: 4, lengths: vec![16], k_max: 5 };
+        let mut counts = Vec::new();
+        for mode in [BoundMode::Eq, BoundMode::Ec, BoundMode::En] {
+            let mut index = SmilerIndex::build(&device, series.clone(), params.clone())
+                .with_bound_mode(mode);
+            let out = index.search(&device, 490);
+            counts.push(out.stats.unfiltered[0]);
+        }
+        // LBen dominates both directions, so it never verifies more
+        // candidates (up to the k threshold probes).
+        assert!(counts[2] <= counts[0] + params.k_max);
+        assert!(counts[2] <= counts[1] + params.k_max);
+    }
+
+    #[test]
+    fn neighbors_exclude_late_candidates() {
+        let device = Device::default_gpu();
+        let series = make_series(300, 6);
+        let params = small_params();
+        let mut index = SmilerIndex::build(&device, series.clone(), params.clone());
+        let h = 7;
+        let max_end = series.len() - h;
+        let out = index.search(&device, max_end);
+        for (i, &d) in params.lengths.iter().enumerate() {
+            for nb in &out.neighbors[i] {
+                assert!(nb.start + d <= max_end, "item {i} neighbour past max_end");
+            }
+        }
+    }
+
+    #[test]
+    fn device_bytes_grows_with_history() {
+        let device = Device::default_gpu();
+        let a = SmilerIndex::build(&device, make_series(200, 7), small_params());
+        let b = SmilerIndex::build(&device, make_series(400, 7), small_params());
+        assert!(b.device_bytes() > a.device_bytes());
+    }
+}

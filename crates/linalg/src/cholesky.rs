@@ -1,0 +1,347 @@
+//! Cholesky factorisation of symmetric positive-definite matrices.
+//!
+//! The GP predictor factorises its Gram matrix once per prediction and then
+//! reuses the factor for: the predictive mean `c₀ᵀ C⁻¹ Y` (paper Eqn 16),
+//! the predictive variance `c(x₀,x₀) − c₀ᵀ C⁻¹ c₀` (Eqn 17), the explicit
+//! inverse needed by the leave-one-out likelihood (Eqn 19–20), and the
+//! log-determinant used by the marginal-likelihood baselines.
+//!
+//! Gram matrices built from near-duplicate kNN segments can be numerically
+//! semi-definite, so [`Cholesky::decompose_with_jitter`] retries with a
+//! geometrically growing diagonal jitter — the standard GP-practice remedy.
+
+#![allow(clippy::needless_range_loop)] // index loops mirror the factorisation maths
+
+use crate::matrix::Matrix;
+
+/// Error produced when a matrix cannot be factorised.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CholeskyError {
+    /// The matrix is not square.
+    NotSquare {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+    /// A non-positive pivot was encountered at the given index, even after
+    /// the maximum jitter was applied.
+    NotPositiveDefinite {
+        /// Pivot index at which factorisation failed.
+        pivot: usize,
+    },
+}
+
+impl std::fmt::Display for CholeskyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CholeskyError::NotSquare { rows, cols } => {
+                write!(f, "cannot factorise a non-square {rows}x{cols} matrix")
+            }
+            CholeskyError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CholeskyError {}
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+    /// Jitter that was added to the diagonal to achieve positive-definiteness.
+    jitter: f64,
+}
+
+impl Cholesky {
+    /// Factorise a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; symmetry is assumed, not
+    /// checked.
+    pub fn decompose(a: &Matrix) -> Result<Self, CholeskyError> {
+        Self::decompose_impl(a, 0.0)
+    }
+
+    /// Factorise with automatic jitter escalation.
+    ///
+    /// Starting from `initial_jitter`, the jitter is multiplied by 10 until
+    /// factorisation succeeds or it exceeds `max_jitter`. The jitter actually
+    /// used is reported by [`Cholesky::jitter`]; callers that care about
+    /// exactness can assert it is zero.
+    pub fn decompose_with_jitter(
+        a: &Matrix,
+        initial_jitter: f64,
+        max_jitter: f64,
+    ) -> Result<Self, CholeskyError> {
+        match Self::decompose_impl(a, 0.0) {
+            Ok(c) => return Ok(c),
+            Err(CholeskyError::NotSquare { rows, cols }) => {
+                return Err(CholeskyError::NotSquare { rows, cols })
+            }
+            Err(CholeskyError::NotPositiveDefinite { .. }) => {}
+        }
+        let mut jitter = initial_jitter.max(f64::EPSILON);
+        while jitter <= max_jitter {
+            if let Ok(c) = Self::decompose_impl(a, jitter) {
+                return Ok(c);
+            }
+            jitter *= 10.0;
+        }
+        Err(CholeskyError::NotPositiveDefinite { pivot: 0 })
+    }
+
+    fn decompose_impl(a: &Matrix, jitter: f64) -> Result<Self, CholeskyError> {
+        if !a.is_square() {
+            return Err(CholeskyError::NotSquare { rows: a.rows(), cols: a.cols() });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)] + if i == j { jitter } else { 0.0 };
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(CholeskyError::NotPositiveDefinite { pivot: i });
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l, jitter })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Diagonal jitter that was added to achieve factorisation.
+    pub fn jitter(&self) -> f64 {
+        self.jitter
+    }
+
+    /// Dimension of the factorised matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solve `L x = b` (forward substitution).
+    ///
+    /// # Panics
+    /// Panics if `b.len() != self.dim()`.
+    pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "solve_lower dimension mismatch");
+        let mut x = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            let row = self.l.row(i);
+            for k in 0..i {
+                sum -= row[k] * x[k];
+            }
+            x[i] = sum / row[i];
+        }
+        x
+    }
+
+    /// Solve `Lᵀ x = b` (backward substitution).
+    ///
+    /// # Panics
+    /// Panics if `b.len() != self.dim()`.
+    pub fn solve_upper(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "solve_upper dimension mismatch");
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = b[i];
+            for k in i + 1..n {
+                sum -= self.l[(k, i)] * x[k];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// Solve `A x = b` where `A = L Lᵀ`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        self.solve_upper(&self.solve_lower(b))
+    }
+
+    /// Solve `A X = B` column by column.
+    ///
+    /// # Panics
+    /// Panics if `B.rows() != self.dim()`.
+    pub fn solve_matrix(&self, b: &Matrix) -> Matrix {
+        assert_eq!(b.rows(), self.dim(), "solve_matrix dimension mismatch");
+        let mut out = Matrix::zeros(b.rows(), b.cols());
+        for j in 0..b.cols() {
+            let col = b.col(j);
+            let x = self.solve(&col);
+            for i in 0..b.rows() {
+                out[(i, j)] = x[i];
+            }
+        }
+        out
+    }
+
+    /// The explicit inverse `A⁻¹`.
+    ///
+    /// The leave-one-out likelihood (paper Eqn 19) needs the diagonal of the
+    /// inverse Gram matrix and products with whole columns, so an explicit
+    /// inverse is the right tool despite its O(n³) cost — `n = k ≤ 128` here.
+    pub fn inverse(&self) -> Matrix {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+
+    /// `log |A| = 2 Σ log L_ii`.
+    pub fn log_determinant(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// Quadratic form `bᵀ A⁻¹ b` computed stably via one triangular solve.
+    ///
+    /// # Panics
+    /// Panics if `b.len() != self.dim()`.
+    pub fn quad_form(&self, b: &[f64]) -> f64 {
+        let z = self.solve_lower(b);
+        z.iter().map(|v| v * v).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd(n: usize, seed: u64) -> Matrix {
+        // Build B with deterministic pseudo-random entries, return B Bᵀ + n·I.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) - 0.5
+        };
+        let b = Matrix::from_fn(n, n, |_, _| next());
+        let mut a = b.matmul(&b.transpose());
+        a.add_diagonal(n as f64);
+        a
+    }
+
+    #[test]
+    fn reconstructs_matrix() {
+        let a = spd(6, 1);
+        let c = Cholesky::decompose(&a).unwrap();
+        let l = c.factor();
+        let back = l.matmul(&l.transpose());
+        assert!(a.max_abs_diff(&back).unwrap() < 1e-10);
+        assert_eq!(c.jitter(), 0.0);
+    }
+
+    #[test]
+    fn solve_recovers_rhs() {
+        let a = spd(8, 2);
+        let c = Cholesky::decompose(&a).unwrap();
+        let x_true: Vec<f64> = (0..8).map(|i| (i as f64) - 3.5).collect();
+        let b = a.matvec(&x_true);
+        let x = c.solve(&b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-9, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = spd(5, 3);
+        let inv = Cholesky::decompose(&a).unwrap().inverse();
+        let prod = a.matmul(&inv);
+        assert!(prod.max_abs_diff(&Matrix::identity(5)).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn log_determinant_of_diagonal() {
+        let mut a = Matrix::zeros(3, 3);
+        a[(0, 0)] = 2.0;
+        a[(1, 1)] = 4.0;
+        a[(2, 2)] = 8.0;
+        let c = Cholesky::decompose(&a).unwrap();
+        assert!((c.log_determinant() - (64.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quad_form_matches_explicit() {
+        let a = spd(7, 4);
+        let c = Cholesky::decompose(&a).unwrap();
+        let b: Vec<f64> = (0..7).map(|i| (i as f64).sin()).collect();
+        let explicit: f64 = {
+            let x = c.solve(&b);
+            b.iter().zip(&x).map(|(bi, xi)| bi * xi).sum()
+        };
+        assert!((c.quad_form(&b) - explicit).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let m = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::decompose(&m),
+            Err(CholeskyError::NotSquare { rows: 2, cols: 3 })
+        ));
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let mut a = Matrix::identity(2);
+        a[(1, 1)] = -1.0;
+        assert!(matches!(
+            Cholesky::decompose(&a),
+            Err(CholeskyError::NotPositiveDefinite { pivot: 1 })
+        ));
+    }
+
+    #[test]
+    fn jitter_rescues_semidefinite() {
+        // Rank-one matrix: ones everywhere.
+        let a = Matrix::from_fn(4, 4, |_, _| 1.0);
+        let c = Cholesky::decompose_with_jitter(&a, 1e-10, 1e-2).unwrap();
+        assert!(c.jitter() > 0.0);
+        // Factor must reproduce A + jitter·I.
+        let mut aj = a.clone();
+        aj.add_diagonal(c.jitter());
+        let back = c.factor().matmul(&c.factor().transpose());
+        assert!(aj.max_abs_diff(&back).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn jitter_gives_up_beyond_max() {
+        let mut a = Matrix::identity(2);
+        a[(1, 1)] = -100.0;
+        assert!(Cholesky::decompose_with_jitter(&a, 1e-10, 1e-6).is_err());
+    }
+
+    #[test]
+    fn partitioned_inverse_identity_for_loo() {
+        // The LOO shortcut relies on: removing row/col a from A and inverting
+        // equals the Schur-complement identity on A⁻¹. Verify numerically:
+        // (A_{-a,-a})⁻¹ = A⁻¹_{-a,-a} − A⁻¹_{-a,a} A⁻¹_{a,-a} / A⁻¹_{a,a}.
+        let a = spd(6, 9);
+        let inv = Cholesky::decompose(&a).unwrap().inverse();
+        let r = 2usize;
+        let minor_inv = Cholesky::decompose(&a.delete_row_col(r)).unwrap().inverse();
+        let n = a.rows();
+        let map = |i: usize| if i < r { i } else { i + 1 };
+        for i in 0..n - 1 {
+            for j in 0..n - 1 {
+                let expect =
+                    inv[(map(i), map(j))] - inv[(map(i), r)] * inv[(r, map(j))] / inv[(r, r)];
+                assert!((minor_inv[(i, j)] - expect).abs() < 1e-9);
+            }
+        }
+    }
+}

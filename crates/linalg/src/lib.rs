@@ -1,0 +1,28 @@
+//! Dense linear algebra, optimisation and statistics substrate for the
+//! SMiLer reproduction.
+//!
+//! The Gaussian Process predictor (paper §5.2.2, Appendix B.3) needs a small
+//! but complete numerical toolbox: symmetric positive-definite factorisation
+//! for the Gram matrix, triangular solves for the predictive equations
+//! (Eqns 16–17), an explicit SPD inverse for the leave-one-out likelihood
+//! (Eqn 19–20), and a nonlinear conjugate-gradient optimiser for
+//! hyperparameter training. None of the approved offline crates provide
+//! these, so this crate implements them from scratch.
+//!
+//! The crate is deliberately free of unsafe code and external BLAS: matrices
+//! in SMiLer are small (the Gram matrix is `k × k` with `k ≤ 128`), so clear
+//! cache-friendly loops beat FFI overhead.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cholesky;
+pub mod matrix;
+pub mod optimize;
+pub mod rng;
+pub mod stats;
+pub mod vector;
+
+pub use cholesky::Cholesky;
+pub use matrix::Matrix;
+pub use optimize::{minimize_cg, CgOptions, CgReport, Objective};

@@ -1,0 +1,362 @@
+//! A dense, row-major `f64` matrix.
+//!
+//! The workloads in this repository use small dense matrices (Gram matrices
+//! of at most a few hundred rows), so the representation is a single
+//! contiguous `Vec<f64>` with row-major addressing. All operations are
+//! written as plain loops in an iteration order that keeps the inner loop
+//! contiguous (`i-k-j` for products), which is the main thing that matters
+//! at this scale.
+
+#![allow(clippy::needless_range_loop)] // index loops mirror the matrix maths
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix of `f64`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Create a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Create a matrix from a closure evaluated at every `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Create a matrix from row-major data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "row-major data has wrong length");
+        Matrix { rows, cols, data }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        Matrix::from_fn(n, n, |i, j| if i == j { 1.0 } else { 0.0 })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i` as a slice.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copy column `j` into a new vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Borrow the raw row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Matrix–vector product `self * x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        let mut out = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x) {
+                acc += a * b;
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// Transposed matrix–vector product `selfᵀ * x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.rows()`.
+    pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "matvec_t dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let xi = x[i];
+            for (o, a) in out.iter_mut().zip(row) {
+                *o += a * xi;
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        // i-k-j order keeps both the `other` row and the output row contiguous.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = other.row(k);
+                let orow = out.row_mut(i);
+                for (o, b) in orow.iter_mut().zip(brow) {
+                    *o += aik * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ * self`, a symmetric product used by Nyström/ridge baselines.
+    pub fn gram(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.cols);
+        for k in 0..self.rows {
+            let row = self.row(k);
+            for i in 0..self.cols {
+                let rki = row[i];
+                if rki == 0.0 {
+                    continue;
+                }
+                let orow = out.row_mut(i);
+                for (o, r) in orow.iter_mut().zip(row) {
+                    *o += rki * r;
+                }
+            }
+        }
+        out
+    }
+
+    /// In-place scaled addition `self += alpha * other`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn axpy(&mut self, alpha: f64, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "axpy shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Scale every entry by `alpha`.
+    pub fn scale(&mut self, alpha: f64) {
+        for a in &mut self.data {
+            *a *= alpha;
+        }
+    }
+
+    /// Add `value` to the diagonal (e.g. jitter or a ridge term).
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn add_diagonal(&mut self, value: f64) {
+        assert!(self.is_square(), "add_diagonal requires a square matrix");
+        for i in 0..self.rows {
+            self.data[i * self.cols + i] += value;
+        }
+    }
+
+    /// The diagonal as a vector.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn diagonal(&self) -> Vec<f64> {
+        assert!(self.is_square(), "diagonal requires a square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).collect()
+    }
+
+    /// Maximum absolute entry-wise difference to `other`; `None` on shape mismatch.
+    pub fn max_abs_diff(&self, other: &Matrix) -> Option<f64> {
+        if (self.rows, self.cols) != (other.rows, other.cols) {
+            return None;
+        }
+        Some(
+            self.data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max),
+        )
+    }
+
+    /// Remove row `r` and column `r`, returning the `(n-1) × (n-1)` minor.
+    ///
+    /// Used by tests to cross-check the partitioned-inverse identities that
+    /// back the leave-one-out likelihood computation.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square or `r` is out of range.
+    pub fn delete_row_col(&self, r: usize) -> Matrix {
+        assert!(self.is_square() && r < self.rows);
+        let n = self.rows - 1;
+        Matrix::from_fn(n, n, |i, j| {
+            let si = if i < r { i } else { i + 1 };
+            let sj = if j < r { j } else { j + 1 };
+            self[(si, sj)]
+        })
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for j in 0..self.cols.min(8) {
+                write!(f, "{:10.4} ", self[(i, j)])?;
+            }
+            writeln!(f, "{}", if self.cols > 8 { "…" } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.rows(), 2);
+        assert_eq!(z.cols(), 3);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let i = Matrix::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn matvec_matches_manual() {
+        let m = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.matvec(&[1.0, 0.0, -1.0]), vec![-2.0, -2.0]);
+        assert_eq!(m.matvec_t(&[1.0, 1.0]), vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn matmul_matches_manual() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_rows(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
+        let i = Matrix::identity(3);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_fn(3, 5, |i, j| (i * 7 + j * 3) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn gram_is_transpose_times_self() {
+        let a = Matrix::from_fn(4, 3, |i, j| (i as f64) - 0.5 * (j as f64));
+        let g = a.gram();
+        let g2 = a.transpose().matmul(&a);
+        assert!(g.max_abs_diff(&g2).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn delete_row_col_minor() {
+        let a = Matrix::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
+        let m = a.delete_row_col(1);
+        assert_eq!(m.as_slice(), &[0.0, 2.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Matrix::identity(2);
+        let b = Matrix::identity(2);
+        a.axpy(2.0, &b);
+        a.scale(0.5);
+        assert_eq!(a[(0, 0)], 1.5);
+        assert_eq!(a[(0, 1)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matvec dimension mismatch")]
+    fn matvec_wrong_len_panics() {
+        Matrix::zeros(2, 3).matvec(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn add_diagonal_only_touches_diagonal() {
+        let mut a = Matrix::zeros(3, 3);
+        a.add_diagonal(2.5);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(a[(i, j)], if i == j { 2.5 } else { 0.0 });
+            }
+        }
+    }
+}

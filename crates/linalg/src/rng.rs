@@ -1,0 +1,107 @@
+//! Deterministic random sampling helpers.
+//!
+//! Experiments must be reproducible from a printed seed, so every stochastic
+//! component in the workspace draws from a seeded [`rand::rngs::StdRng`]
+//! through these helpers. Normal deviates use Box–Muller rather than pulling
+//! in `rand_distr` (the approved offline crate list has `rand` only).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Create a seeded RNG. All workspace randomness flows through `StdRng` so
+/// results are stable across platforms.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A standard-normal deviate via the Box–Muller transform.
+pub fn normal(rng: &mut impl Rng) -> f64 {
+    // Avoid ln(0) by sampling u1 from the half-open (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// A normal deviate with the given mean and standard deviation.
+pub fn normal_with(rng: &mut impl Rng, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * normal(rng)
+}
+
+/// Sample `count` distinct indices from `0..n` (Floyd's algorithm).
+///
+/// # Panics
+/// Panics if `count > n`.
+pub fn sample_indices(rng: &mut impl Rng, n: usize, count: usize) -> Vec<usize> {
+    assert!(count <= n, "cannot sample {count} distinct indices from 0..{n}");
+    // Floyd's algorithm yields each subset with equal probability in O(count).
+    let mut chosen = Vec::with_capacity(count);
+    for j in n - count..n {
+        let t = rng.gen_range(0..=j);
+        if chosen.contains(&t) {
+            chosen.push(j);
+        } else {
+            chosen.push(t);
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let a: Vec<f64> = {
+            let mut r = seeded(42);
+            (0..5).map(|_| r.gen()).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = seeded(42);
+            (0..5).map(|_| r.gen()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = seeded(7);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var = {var}");
+    }
+
+    #[test]
+    fn normal_with_shifts_and_scales() {
+        let mut rng = seeded(9);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal_with(&mut rng, 5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut rng = seeded(3);
+        for _ in 0..100 {
+            let idx = sample_indices(&mut rng, 50, 10);
+            assert_eq!(idx.len(), 10);
+            let mut sorted = idx.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 10, "indices must be distinct");
+            assert!(idx.iter().all(|&i| i < 50));
+        }
+    }
+
+    #[test]
+    fn sample_indices_full_range() {
+        let mut rng = seeded(4);
+        let mut idx = sample_indices(&mut rng, 5, 5);
+        idx.sort_unstable();
+        assert_eq!(idx, vec![0, 1, 2, 3, 4]);
+    }
+}

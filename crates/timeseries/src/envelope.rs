@@ -1,0 +1,216 @@
+//! DTW envelopes under a Sakoe-Chiba band.
+//!
+//! The envelope of a series `C` with warping width `ρ` (paper Def. B.1) is
+//! the pair of sequences `U_i = max(c_{i−ρ} … c_{i+ρ})` and
+//! `L_i = min(c_{i−ρ} … c_{i+ρ})` (clamped at the boundaries). `LB_Keogh`
+//! and therefore the whole SMiLer index are built on envelopes, so they are
+//! computed with the O(n) monotonic-deque algorithm rather than the naive
+//! O(nρ) scan, and support the incremental tail update the continuous query
+//! needs (paper §4.3.1 Remark 1: appending one point only changes the last
+//! `ρ` envelope entries).
+
+use std::collections::VecDeque;
+
+/// Upper/lower DTW envelope of a series for a fixed warping width.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    rho: usize,
+    /// `U_i = max_{|r|≤ρ} c_{i+r}` (indices clamped to the series).
+    pub upper: Vec<f64>,
+    /// `L_i = min_{|r|≤ρ} c_{i+r}` (indices clamped to the series).
+    pub lower: Vec<f64>,
+}
+
+impl Envelope {
+    /// Compute the envelope of `values` with warping width `rho`.
+    pub fn compute(values: &[f64], rho: usize) -> Self {
+        let n = values.len();
+        let mut upper = vec![0.0; n];
+        let mut lower = vec![0.0; n];
+        // Monotonic deques of indices: `maxq` non-increasing, `minq`
+        // non-decreasing. When the centre `i` is emitted the deques hold
+        // exactly the window [i-ρ, min(i+ρ, n-1)].
+        let mut maxq: VecDeque<usize> = VecDeque::new();
+        let mut minq: VecDeque<usize> = VecDeque::new();
+        for j in 0..n + rho {
+            if j < n {
+                while maxq.back().is_some_and(|&b| values[b] <= values[j]) {
+                    maxq.pop_back();
+                }
+                maxq.push_back(j);
+                while minq.back().is_some_and(|&b| values[b] >= values[j]) {
+                    minq.pop_back();
+                }
+                minq.push_back(j);
+            }
+            if j >= rho {
+                let i = j - rho;
+                if i >= n {
+                    break;
+                }
+                let left = i.saturating_sub(rho);
+                while maxq.front().is_some_and(|&f| f < left) {
+                    maxq.pop_front();
+                }
+                while minq.front().is_some_and(|&f| f < left) {
+                    minq.pop_front();
+                }
+                upper[i] = values[*maxq.front().expect("window never empty")];
+                lower[i] = values[*minq.front().expect("window never empty")];
+            }
+        }
+        Envelope { rho, upper, lower }
+    }
+
+    /// Warping width this envelope was computed with.
+    pub fn rho(&self) -> usize {
+        self.rho
+    }
+
+    /// Envelope length (equal to the series length).
+    pub fn len(&self) -> usize {
+        self.upper.len()
+    }
+
+    /// Whether the envelope is empty.
+    pub fn is_empty(&self) -> bool {
+        self.upper.is_empty()
+    }
+
+    /// Grow the envelope after `values` gained new observations at the end.
+    ///
+    /// `values` must be the *full* series including the new points. Only the
+    /// entries whose ±ρ window now contains a new point are recomputed —
+    /// the incremental update that keeps continuous queries cheap
+    /// (paper Remark 1). The affected region is tiny (≤ ρ + appended count),
+    /// so a direct window scan is used.
+    ///
+    /// # Panics
+    /// Panics if `values` is shorter than the current envelope.
+    pub fn extend_to(&mut self, values: &[f64]) {
+        let old_n = self.upper.len();
+        let n = values.len();
+        assert!(n >= old_n, "series must not shrink");
+        if n == old_n {
+            return;
+        }
+        self.upper.resize(n, 0.0);
+        self.lower.resize(n, 0.0);
+        // Entries at i >= old_n - ρ see at least one appended point.
+        let from = old_n.saturating_sub(self.rho);
+        for i in from..n {
+            let left = i.saturating_sub(self.rho);
+            let right = (i + self.rho).min(n - 1);
+            let window = &values[left..=right];
+            self.upper[i] = window.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            self.lower[i] = window.iter().copied().fold(f64::INFINITY, f64::min);
+        }
+    }
+
+    /// Check the defining envelope invariant `L_i ≤ c_i ≤ U_i`.
+    pub fn contains_series(&self, values: &[f64]) -> bool {
+        values.len() == self.len()
+            && values
+                .iter()
+                .enumerate()
+                .all(|(i, &v)| self.lower[i] <= v && v <= self.upper[i])
+    }
+}
+
+/// Naive reference envelope (O(nρ)); used by tests and kept public so other
+/// crates' property tests can cross-check against it.
+pub fn envelope_naive(values: &[f64], rho: usize) -> Envelope {
+    let n = values.len();
+    let mut upper = vec![0.0; n];
+    let mut lower = vec![0.0; n];
+    for i in 0..n {
+        let left = i.saturating_sub(rho);
+        let right = (i + rho).min(n.saturating_sub(1));
+        let window = &values[left..=right];
+        upper[i] = window.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        lower[i] = window.iter().copied().fold(f64::INFINITY, f64::min);
+    }
+    Envelope { rho, upper, lower }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn simple_envelope() {
+        let v = [1.0, 3.0, 2.0, 5.0, 4.0];
+        let e = Envelope::compute(&v, 1);
+        assert_eq!(e.upper, vec![3.0, 3.0, 5.0, 5.0, 5.0]);
+        assert_eq!(e.lower, vec![1.0, 1.0, 2.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn rho_zero_is_identity() {
+        let v = [2.0, -1.0, 0.5];
+        let e = Envelope::compute(&v, 0);
+        assert_eq!(e.upper, v.to_vec());
+        assert_eq!(e.lower, v.to_vec());
+    }
+
+    #[test]
+    fn rho_larger_than_series_is_global_minmax() {
+        let v = [2.0, -1.0, 0.5];
+        let e = Envelope::compute(&v, 10);
+        assert!(e.upper.iter().all(|&u| u == 2.0));
+        assert!(e.lower.iter().all(|&l| l == -1.0));
+    }
+
+    #[test]
+    fn empty_series() {
+        let e = Envelope::compute(&[], 4);
+        assert!(e.is_empty());
+        assert!(e.contains_series(&[]));
+    }
+
+    #[test]
+    fn extend_matches_full_recompute() {
+        let mut v: Vec<f64> = (0..50).map(|i| ((i * 37) % 11) as f64 - 5.0).collect();
+        let mut e = Envelope::compute(&v, 8);
+        for step in 0..20 {
+            v.push(((step * 13) % 7) as f64 * if step % 2 == 0 { 1.0 } else { -1.0 });
+            e.extend_to(&v);
+            assert_eq!(e, Envelope::compute(&v, 8), "mismatch after step {step}");
+        }
+    }
+
+    #[test]
+    fn extend_multiple_points_at_once() {
+        let mut v: Vec<f64> = (0..30).map(|i| (i as f64 * 0.7).sin()).collect();
+        let mut e = Envelope::compute(&v, 5);
+        v.extend((0..7).map(|i| (i as f64 * 1.3).cos()));
+        e.extend_to(&v);
+        assert_eq!(e, Envelope::compute(&v, 5));
+    }
+
+    proptest! {
+        #[test]
+        fn deque_matches_naive(values in prop::collection::vec(-100.0f64..100.0, 0..200), rho in 0usize..20) {
+            let fast = Envelope::compute(&values, rho);
+            let slow = envelope_naive(&values, rho);
+            prop_assert_eq!(fast, slow);
+        }
+
+        #[test]
+        fn envelope_contains_series(values in prop::collection::vec(-50.0f64..50.0, 1..100), rho in 0usize..10) {
+            let e = Envelope::compute(&values, rho);
+            prop_assert!(e.contains_series(&values));
+        }
+
+        #[test]
+        fn envelope_widens_with_rho(values in prop::collection::vec(-50.0f64..50.0, 1..100), rho in 0usize..8) {
+            let narrow = Envelope::compute(&values, rho);
+            let wide = Envelope::compute(&values, rho + 1);
+            for i in 0..values.len() {
+                prop_assert!(wide.upper[i] >= narrow.upper[i]);
+                prop_assert!(wide.lower[i] <= narrow.lower[i]);
+            }
+        }
+    }
+}

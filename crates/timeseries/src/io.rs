@@ -1,0 +1,185 @@
+//! Plain-text series I/O.
+//!
+//! Real deployments feed SMiLer from files and pipes; this module reads and
+//! writes the two trivially interoperable formats — one value per line, and
+//! single-header CSV columns — without pulling in a CSV dependency (the
+//! subset needed here is a dozen lines of splitting).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Errors raised while reading series data.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A cell could not be parsed as a number.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// The requested column does not exist.
+    MissingColumn {
+        /// Requested column name.
+        column: String,
+    },
+    /// The file contained no data rows.
+    Empty,
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Parse { line, text } => {
+                write!(f, "line {line}: cannot parse {text:?} as a number")
+            }
+            IoError::MissingColumn { column } => write!(f, "no column named {column:?}"),
+            IoError::Empty => write!(f, "no data rows"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Read a series from a reader: one value per line, or CSV with an optional
+/// header. `column` selects a CSV column by name (header required) or, when
+/// `None`, the first numeric column is used. Blank lines and `#` comments
+/// are skipped.
+pub fn read_series(reader: impl Read, column: Option<&str>) -> Result<Vec<f64>, IoError> {
+    let reader = BufReader::new(reader);
+    let mut values = Vec::new();
+    let mut col_index: Option<usize> = None;
+    let mut header_seen = false;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let cells: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        // Header detection: the first non-comment row whose selected cell is
+        // not numeric is treated as a header.
+        if !header_seen {
+            header_seen = true;
+            if let Some(name) = column {
+                let pos = cells.iter().position(|c| c.eq_ignore_ascii_case(name));
+                match pos {
+                    Some(p) => {
+                        col_index = Some(p);
+                        continue; // header row consumed
+                    }
+                    None => return Err(IoError::MissingColumn { column: name.to_string() }),
+                }
+            }
+            // No named column: if the first cell parses, it is data.
+            if cells[0].parse::<f64>().is_ok() {
+                col_index = Some(0);
+                // fall through to parse this row as data
+            } else {
+                col_index = Some(0);
+                continue; // unnamed header row
+            }
+        }
+        let p = col_index.expect("set above");
+        let cell = cells.get(p).copied().unwrap_or("");
+        let v: f64 = cell
+            .parse()
+            .map_err(|_| IoError::Parse { line: idx + 1, text: cell.to_string() })?;
+        values.push(v);
+    }
+    if values.is_empty() {
+        return Err(IoError::Empty);
+    }
+    Ok(values)
+}
+
+/// Read a series from a file path (see [`read_series`]).
+pub fn read_series_file(path: impl AsRef<Path>, column: Option<&str>) -> Result<Vec<f64>, IoError> {
+    let file = std::fs::File::open(path)?;
+    read_series(file, column)
+}
+
+/// Write a series, one value per line.
+pub fn write_series(mut writer: impl Write, values: &[f64]) -> std::io::Result<()> {
+    for v in values {
+        writeln!(writer, "{v}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_plain_values() {
+        let input = "1.5\n2.5\n\n# comment\n3.5\n";
+        assert_eq!(read_series(input.as_bytes(), None).unwrap(), vec![1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn reads_csv_with_named_column() {
+        let input = "time,occupancy,speed\n0,0.5,55\n1,0.7,42\n";
+        assert_eq!(
+            read_series(input.as_bytes(), Some("occupancy")).unwrap(),
+            vec![0.5, 0.7]
+        );
+        assert_eq!(read_series(input.as_bytes(), Some("speed")).unwrap(), vec![55.0, 42.0]);
+    }
+
+    #[test]
+    fn skips_unnamed_header() {
+        let input = "value\n1.0\n2.0\n";
+        assert_eq!(read_series(input.as_bytes(), None).unwrap(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn missing_column_is_reported() {
+        let input = "a,b\n1,2\n";
+        let err = read_series(input.as_bytes(), Some("c")).unwrap_err();
+        assert!(matches!(err, IoError::MissingColumn { .. }));
+    }
+
+    #[test]
+    fn parse_error_carries_line_number() {
+        let input = "1.0\nnot-a-number\n";
+        match read_series(input.as_bytes(), None).unwrap_err() {
+            IoError::Parse { line, text } => {
+                assert_eq!(line, 2);
+                assert_eq!(text, "not-a-number");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(matches!(read_series("# only comments\n".as_bytes(), None), Err(IoError::Empty)));
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let values = vec![1.25, -3.5, 0.0, 1e-9];
+        let mut buf = Vec::new();
+        write_series(&mut buf, &values).unwrap();
+        assert_eq!(read_series(buf.as_slice(), None).unwrap(), values);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let path = std::env::temp_dir().join("smiler_io_test.csv");
+        let values = vec![4.0, 8.0, 15.0];
+        write_series(std::fs::File::create(&path).unwrap(), &values).unwrap();
+        assert_eq!(read_series_file(&path, None).unwrap(), values);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,153 @@
+//! Z-normalisation.
+//!
+//! The paper normalises "the time series of each sensor" with
+//! z-normalisation before indexing and prediction (§6.1.2). Normalising the
+//! whole series once (rather than per segment) is what makes the suffix-kNN
+//! index sound: every segment is compared in the same normalised space.
+
+use smiler_linalg::stats;
+
+/// Parameters of a z-normalisation, kept so predictions can be mapped back
+/// to sensor units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZNorm {
+    /// Mean of the original series.
+    pub mean: f64,
+    /// Standard deviation of the original series (floored to avoid division
+    /// by zero on constant series).
+    pub std_dev: f64,
+}
+
+impl ZNorm {
+    /// Fit normalisation parameters to `values`.
+    pub fn fit(values: &[f64]) -> Self {
+        ZNorm { mean: stats::mean(values), std_dev: stats::std_dev(values).max(1e-12) }
+    }
+
+    /// Normalise one value.
+    pub fn apply(&self, v: f64) -> f64 {
+        (v - self.mean) / self.std_dev
+    }
+
+    /// Map a normalised value back to sensor units.
+    pub fn invert(&self, z: f64) -> f64 {
+        z * self.std_dev + self.mean
+    }
+
+    /// Map a normalised *variance* back to sensor units.
+    pub fn invert_variance(&self, var: f64) -> f64 {
+        var * self.std_dev * self.std_dev
+    }
+
+    /// Normalise a whole slice into a new vector.
+    pub fn apply_all(&self, values: &[f64]) -> Vec<f64> {
+        values.iter().map(|&v| self.apply(v)).collect()
+    }
+}
+
+/// Fit-and-apply convenience: returns the normalised series and the fitted
+/// parameters.
+pub fn z_normalize(values: &[f64]) -> (Vec<f64>, ZNorm) {
+    let z = ZNorm::fit(values);
+    (z.apply_all(values), z)
+}
+
+/// Linearly re-interpolate a series to a new length.
+///
+/// The paper assumes a fixed sample rate per sensor, noting that "the user
+/// can easily re-interpolate data if the sample rate is changed" (§3.1
+/// footnote). This is that utility: resample `values` onto `new_len`
+/// equally spaced points spanning the same time range.
+///
+/// # Panics
+/// Panics when the input is empty or `new_len` is zero.
+pub fn resample_linear(values: &[f64], new_len: usize) -> Vec<f64> {
+    assert!(!values.is_empty(), "cannot resample an empty series");
+    assert!(new_len > 0, "target length must be positive");
+    if values.len() == 1 {
+        return vec![values[0]; new_len];
+    }
+    if new_len == 1 {
+        return vec![values[0]];
+    }
+    let scale = (values.len() - 1) as f64 / (new_len - 1) as f64;
+    (0..new_len)
+        .map(|i| {
+            let pos = i as f64 * scale;
+            let lo = pos.floor() as usize;
+            let hi = (lo + 1).min(values.len() - 1);
+            let frac = pos - lo as f64;
+            values[lo] * (1.0 - frac) + values[hi] * frac
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smiler_linalg::stats;
+
+    #[test]
+    fn normalized_series_has_zero_mean_unit_variance() {
+        let values: Vec<f64> = (0..100).map(|i| 3.0 + 2.0 * (i as f64 * 0.31).sin()).collect();
+        let (z, _) = z_normalize(&values);
+        assert!(stats::mean(&z).abs() < 1e-10);
+        assert!((stats::variance(&z) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn round_trip() {
+        let values = [4.0, 8.0, 15.0, 16.0, 23.0, 42.0];
+        let (z, params) = z_normalize(&values);
+        for (orig, zi) in values.iter().zip(&z) {
+            assert!((params.invert(*zi) - orig).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let values = [5.0; 10];
+        let (z, params) = z_normalize(&values);
+        assert!(z.iter().all(|v| v.is_finite()));
+        assert!((params.invert(z[0]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn variance_inversion_scales_quadratically() {
+        let params = ZNorm { mean: 10.0, std_dev: 3.0 };
+        assert!((params.invert_variance(2.0) - 18.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resample_preserves_endpoints() {
+        let v = [1.0, 3.0, 2.0, 5.0];
+        for &n in &[2usize, 4, 7, 100] {
+            let r = resample_linear(&v, n);
+            assert_eq!(r.len(), n);
+            assert_eq!(r[0], 1.0);
+            assert!((r[n - 1] - 5.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn resample_identity_when_length_unchanged() {
+        let v = [0.5, -1.0, 2.0];
+        let r = resample_linear(&v, 3);
+        for (a, b) in r.iter().zip(&v) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn upsample_interpolates_midpoints() {
+        let v = [0.0, 2.0];
+        let r = resample_linear(&v, 3);
+        assert!((r[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resample_degenerate_inputs() {
+        assert_eq!(resample_linear(&[7.0], 4), vec![7.0; 4]);
+        assert_eq!(resample_linear(&[1.0, 2.0, 3.0], 1), vec![1.0]);
+    }
+}

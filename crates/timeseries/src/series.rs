@@ -1,0 +1,201 @@
+//! Sensor time series and segment views.
+
+/// A borrowed view of the segment `C_{t,d}` — `d` contiguous observations of
+/// a series starting at timestamp `t` (paper §3.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentRef<'a> {
+    /// Start timestamp `t` within the owning series.
+    pub start: usize,
+    /// The observations `c_t … c_{t+d-1}`.
+    pub values: &'a [f64],
+}
+
+impl<'a> SegmentRef<'a> {
+    /// Segment length `d`.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the segment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Timestamp one past the segment's last observation.
+    pub fn end(&self) -> usize {
+        self.start + self.values.len()
+    }
+}
+
+/// An append-only sensor time series.
+///
+/// The semi-lazy predictor keeps the entire history of every sensor "as part
+/// of the data" (paper §1); this type is that history. Observations arrive
+/// through [`TimeSeries::push`] during continuous prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    /// Stable identifier of the sensor this series belongs to.
+    sensor_id: usize,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Create a series for `sensor_id` from existing history.
+    pub fn new(sensor_id: usize, values: Vec<f64>) -> Self {
+        TimeSeries { sensor_id, values }
+    }
+
+    /// Create an empty series for `sensor_id`.
+    pub fn empty(sensor_id: usize) -> Self {
+        TimeSeries { sensor_id, values: Vec::new() }
+    }
+
+    /// The sensor identifier.
+    pub fn sensor_id(&self) -> usize {
+        self.sensor_id
+    }
+
+    /// Number of observations `|C|`.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series has no observations.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// All observations.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Observation at timestamp `t`, if recorded.
+    pub fn get(&self, t: usize) -> Option<f64> {
+        self.values.get(t).copied()
+    }
+
+    /// Append a newly observed value (continuous prediction, Def. 4.1).
+    pub fn push(&mut self, value: f64) {
+        self.values.push(value);
+    }
+
+    /// The segment `C_{t,d}`, or `None` if it does not fit in the history.
+    pub fn segment(&self, start: usize, len: usize) -> Option<SegmentRef<'_>> {
+        let end = start.checked_add(len)?;
+        if end > self.values.len() {
+            return None;
+        }
+        Some(SegmentRef { start, values: &self.values[start..end] })
+    }
+
+    /// The `d`-length segment ending at the latest observation — the model
+    /// input `x_{0,d}` of paper §3.1 (`x_{0,d} = C_{t₀−d+1, d}`).
+    pub fn latest_segment(&self, len: usize) -> Option<SegmentRef<'_>> {
+        let start = self.values.len().checked_sub(len)?;
+        self.segment(start, len)
+    }
+
+    /// The `h`-step-ahead value `y = c_{t+d-1+h}` for the segment starting at
+    /// `start` with length `len` — i.e. the label the semi-lazy predictor
+    /// attaches to a retrieved neighbour (paper §3.2.1).
+    pub fn ahead_value(&self, start: usize, len: usize, h: usize) -> Option<f64> {
+        // The segment ends at index start+len-1; its h-step-ahead value sits
+        // at start+len-1+h.
+        let idx = start.checked_add(len)?.checked_sub(1)?.checked_add(h)?;
+        self.get(idx)
+    }
+
+    /// Number of `d`-length segments whose `h`-step-ahead label exists, i.e.
+    /// the candidate population for a (k, d) predictor at horizon `h`.
+    pub fn usable_segments(&self, d: usize, h: usize) -> usize {
+        if d == 0 {
+            return 0;
+        }
+        self.values.len().saturating_sub(d - 1 + h).min(self.values.len().saturating_sub(d) + 1)
+    }
+
+    /// Iterator over every `(start, segment)` pair of length `d`.
+    pub fn segments(&self, d: usize) -> impl Iterator<Item = SegmentRef<'_>> + '_ {
+        let count = if d == 0 || d > self.values.len() { 0 } else { self.values.len() - d + 1 };
+        (0..count).map(move |t| SegmentRef { start: t, values: &self.values[t..t + d] })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> TimeSeries {
+        TimeSeries::new(7, (0..10).map(|i| i as f64).collect())
+    }
+
+    #[test]
+    fn segment_bounds() {
+        let s = series();
+        assert_eq!(s.segment(2, 3).unwrap().values, &[2.0, 3.0, 4.0]);
+        assert_eq!(s.segment(8, 2).unwrap().values, &[8.0, 9.0]);
+        assert!(s.segment(8, 3).is_none());
+        assert!(s.segment(usize::MAX, 2).is_none());
+    }
+
+    #[test]
+    fn latest_segment_is_suffix() {
+        let s = series();
+        let seg = s.latest_segment(4).unwrap();
+        assert_eq!(seg.start, 6);
+        assert_eq!(seg.values, &[6.0, 7.0, 8.0, 9.0]);
+        assert!(s.latest_segment(11).is_none());
+    }
+
+    #[test]
+    fn ahead_value_matches_definition() {
+        let s = series();
+        // Segment C_{2,3} covers indices 2..4 and ends at index 4;
+        // its 2-step-ahead value is c_6 = 6.
+        assert_eq!(s.ahead_value(2, 3, 2), Some(6.0));
+        // Out of range: segment ends at 9, 1-ahead would be index 10.
+        assert_eq!(s.ahead_value(7, 3, 1), None);
+        assert_eq!(s.ahead_value(7, 3, 0), Some(9.0));
+    }
+
+    #[test]
+    fn usable_segments_counts_labelled_pairs() {
+        let s = series(); // length 10
+        // d=3, h=2: last usable start is t with t+3-1+2 <= 9 → t <= 5 → 6.
+        assert_eq!(s.usable_segments(3, 2), 6);
+        assert_eq!(s.usable_segments(10, 0), 1);
+        assert_eq!(s.usable_segments(10, 1), 0);
+        assert_eq!(s.usable_segments(0, 1), 0);
+    }
+
+    #[test]
+    fn push_extends_history() {
+        let mut s = TimeSeries::empty(1);
+        assert!(s.is_empty());
+        s.push(1.5);
+        s.push(2.5);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.latest_segment(2).unwrap().values, &[1.5, 2.5]);
+    }
+
+    #[test]
+    fn segments_iterator_covers_all_offsets() {
+        let s = series();
+        let segs: Vec<_> = s.segments(8).collect();
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[0].start, 0);
+        assert_eq!(segs[2].start, 2);
+        assert_eq!(s.segments(11).count(), 0);
+        assert_eq!(s.segments(0).count(), 0);
+    }
+
+    #[test]
+    fn segment_ref_end() {
+        let s = series();
+        let seg = s.segment(3, 4).unwrap();
+        assert_eq!(seg.end(), 7);
+        assert_eq!(seg.len(), 4);
+        assert!(!seg.is_empty());
+    }
+}

@@ -1,0 +1,70 @@
+//! Quickstart: predict a sensor's future values with SMiLer.
+//!
+//! Builds a semi-lazy GP predictor over one synthetic traffic sensor,
+//! makes a few multi-horizon predictions with uncertainty, feeds the
+//! observed values back, and prints how the prediction tracks the truth.
+//!
+//! Run with:
+//! ```text
+//! cargo run -p smiler-core --release --example quickstart
+//! ```
+
+use smiler_core::{PredictorKind, SensorPredictor, SmilerConfig};
+use smiler_gpu::Device;
+use smiler_timeseries::synthetic::{DatasetKind, SyntheticSpec};
+use std::sync::Arc;
+
+fn main() {
+    // 1. A sensor history. SMiLer expects z-normalised data; the synthetic
+    //    generators normalise for you (as the paper normalised each sensor,
+    //    §6.1.2).
+    let dataset =
+        SyntheticSpec { kind: DatasetKind::Road, sensors: 1, days: 21, seed: 42 }.generate();
+    let series = dataset.sensors[0].values().to_vec();
+    let (history, future) = series.split_at(series.len() - 36);
+
+    // 2. A (simulated) GPU and the default paper configuration:
+    //    ρ=8, ω=16, ELV={32,64,96}, EKV={8,16,32}, GP predictor.
+    let device = Arc::new(Device::default_gpu());
+    let config = SmilerConfig::default();
+    let mut predictor = SensorPredictor::new(
+        Arc::clone(&device),
+        /* sensor id */ 0,
+        history.to_vec(),
+        config,
+        PredictorKind::GaussianProcess,
+    );
+
+    // 3. Multi-horizon prediction with analytic uncertainty.
+    println!("t+h   prediction   95% interval          truth");
+    for h in [1usize, 5, 10, 30] {
+        let (mean, var) = predictor.predict(h);
+        let sd = var.sqrt();
+        println!(
+            "t+{h:<3}  {mean:9.3}   [{:7.3}, {:7.3}]   {:8.3}",
+            mean - 1.96 * sd,
+            mean + 1.96 * sd,
+            future[h - 1]
+        );
+    }
+
+    // 4. Continuous prediction: observe each arriving value; the ensemble
+    //    weights adapt and the index updates incrementally (no retraining).
+    let mut abs_err = 0.0;
+    for &value in future {
+        let (mean, _) = predictor.predict(1);
+        abs_err += (mean - value).abs();
+        predictor.observe(value);
+    }
+    println!("\n1-step MAE over {} continuous steps: {:.3}", future.len(), abs_err / future.len() as f64);
+    println!(
+        "ensemble weights (h=1): {:?}",
+        predictor
+            .weights(1)
+            .expect("weights exist after predictions")
+            .iter()
+            .map(|w| (w * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
+    println!("simulated GPU time spent: {:.3} ms", device.elapsed_seconds() * 1e3);
+}

@@ -1,0 +1,157 @@
+//! Long-running continuous-prediction integration: the whole system driven
+//! for many steps, checking the behaviours the paper attributes to the
+//! auto-tuning mechanism (§5.1) and the online GP training (§5.2.2).
+
+#![allow(clippy::needless_range_loop)] // time-indexed evaluation loops
+
+use smiler_baselines::SeriesPredictor;
+use smiler_core::ensemble::{EnsembleConfig, EnsembleMode};
+use smiler_core::sensor::{SmilerConfig, SmilerForecaster};
+use smiler_core::{PredictorKind, SensorPredictor};
+use smiler_gpu::Device;
+use smiler_timeseries::synthetic::{DatasetKind, SyntheticSpec};
+use std::sync::Arc;
+
+fn mall_sensor(days: usize, seed: u64) -> Vec<f64> {
+    SyntheticSpec { kind: DatasetKind::Mall, sensors: 1, days, seed }
+        .generate()
+        .sensors
+        .remove(0)
+        .values()
+        .to_vec()
+}
+
+/// Drive 60 continuous steps: predictions must stay finite, variances
+/// positive, and the weights normalised throughout.
+#[test]
+fn long_run_stays_well_formed() {
+    let series = mall_sensor(20, 1);
+    let steps = 60;
+    let split = series.len() - steps;
+    let device = Arc::new(Device::default_gpu());
+    let mut p = SensorPredictor::new(
+        device,
+        0,
+        series[..split].to_vec(),
+        SmilerConfig { h_max: 6, ..Default::default() },
+        PredictorKind::GaussianProcess,
+    );
+    for (step, &truth) in series[split..].iter().enumerate() {
+        for h in [1usize, 3, 6] {
+            let (mean, var) = p.predict(h);
+            assert!(mean.is_finite(), "step {step} h={h}");
+            assert!(var > 0.0 && var.is_finite(), "step {step} h={h} var={var}");
+        }
+        p.observe(truth);
+        for h in [1usize, 3, 6] {
+            if let Some(w) = p.weights(h) {
+                let sum: f64 = w.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-6, "step {step} h={h}: weights sum {sum}");
+                assert!(w.iter().all(|&x| (0.0..=1.0 + 1e-9).contains(&x)));
+            }
+        }
+    }
+}
+
+/// Fig 11's claim at test scale: the full auto-tuned ensemble is at least
+/// as accurate as freezing the weights (NS) on seasonal data.
+#[test]
+fn adaptive_weights_do_not_hurt() {
+    let series = mall_sensor(25, 2);
+    let steps = 40;
+    let run = |mode: EnsembleMode| {
+        let device = Arc::new(Device::default_gpu());
+        let cfg = SmilerConfig {
+            h_max: 3,
+            ensemble: EnsembleConfig { mode, ..EnsembleConfig::default() },
+            ..Default::default()
+        };
+        let mut f = SmilerForecaster::ar(device, cfg);
+        let split = series.len() - steps - 3;
+        f.train(&series[..split]);
+        let mut err = 0.0;
+        for t in split..split + steps {
+            let (mean, _) = f.predict(1);
+            err += (mean - series[t]).abs();
+            f.observe(series[t]);
+        }
+        err / steps as f64
+    };
+    let adaptive = run(EnsembleMode::Full);
+    let frozen = run(EnsembleMode::NoSelfAdaptive);
+    assert!(
+        adaptive <= frozen * 1.15,
+        "adaptive MAE {adaptive:.4} should not trail frozen {frozen:.4} badly"
+    );
+}
+
+/// Concept drift: when the generating process changes mid-stream, the
+/// semi-lazy predictor keeps working because each query retrains on fresh
+/// neighbours (the paper's core argument against eager learners).
+#[test]
+fn survives_concept_drift() {
+    // First regime: daily sine. Second regime: amplitude doubled and phase
+    // shifted.
+    let per_day = 48;
+    let n1 = per_day * 14;
+    let n2 = per_day * 3;
+    let mut series: Vec<f64> = (0..n1)
+        .map(|i| ((i % per_day) as f64 / per_day as f64 * std::f64::consts::TAU).sin())
+        .collect();
+    series.extend((0..n2).map(|i| {
+        2.0 * (((i % per_day) as f64 / per_day as f64 + 0.25) * std::f64::consts::TAU).sin()
+    }));
+
+    let steps = per_day; // evaluate within the drifted regime
+    let split = series.len() - steps;
+    let device = Arc::new(Device::default_gpu());
+    let mut p = SensorPredictor::new(
+        device,
+        0,
+        series[..split].to_vec(),
+        SmilerConfig { h_max: 2, ..Default::default() },
+        PredictorKind::Aggregation,
+    );
+    let mut err = 0.0;
+    for t in split..series.len() {
+        let (mean, _) = p.predict(1);
+        err += (mean - series[t]).abs();
+        p.observe(series[t]);
+    }
+    let mae = err / steps as f64;
+    // The drifted regime has amplitude 2; a frozen pre-drift model would be
+    // off by O(1). The semi-lazy predictor must do much better.
+    assert!(mae < 0.5, "post-drift MAE {mae:.3} too high");
+}
+
+/// The GP forecaster's interval coverage: roughly the right fraction of
+/// truths must fall inside the 95% predictive interval (calibration, the
+/// MNLPD story of Figs 9–10).
+#[test]
+fn gp_intervals_have_reasonable_coverage() {
+    let series = mall_sensor(22, 3);
+    let steps = 50;
+    let split = series.len() - steps;
+    let device = Arc::new(Device::default_gpu());
+    let mut p = SensorPredictor::new(
+        device,
+        0,
+        series[..split].to_vec(),
+        SmilerConfig { h_max: 2, ..Default::default() },
+        PredictorKind::GaussianProcess,
+    );
+    let mut inside = 0usize;
+    for t in split..split + steps {
+        let (mean, var) = p.predict(1);
+        let sd = var.sqrt();
+        if (series[t] - mean).abs() <= 1.96 * sd {
+            inside += 1;
+        }
+        p.observe(series[t]);
+    }
+    let coverage = inside as f64 / steps as f64;
+    assert!(
+        coverage >= 0.6,
+        "95% interval covered only {coverage:.2} of truths — variance badly miscalibrated"
+    );
+}

@@ -1,0 +1,145 @@
+//! Conformance suite: every forecasting model in the repository — SMiLer
+//! and all ten competitors — must survive the full continuous-prediction
+//! life cycle on every synthetic dataset without producing non-finite
+//! output, and must respect the `SeriesPredictor` contract.
+
+#![allow(clippy::needless_range_loop)] // time-indexed evaluation loops
+
+use smiler_baselines::holtwinters::HoltWinters;
+use smiler_baselines::lazyknn::{LazyKnn, LazyKnnConfig};
+use smiler_baselines::linear::{self, LinearConfig};
+use smiler_baselines::nystrom::{nys_svr, NysSvrConfig};
+use smiler_baselines::sparse_gp::{self, SparseGpConfig};
+use smiler_baselines::SeriesPredictor;
+use smiler_core::sensor::{SmilerConfig, SmilerForecaster};
+use smiler_gpu::Device;
+use smiler_timeseries::synthetic::{DatasetKind, SyntheticSpec};
+use std::sync::Arc;
+
+const HORIZONS: [usize; 3] = [1, 3, 6];
+
+fn roster() -> Vec<(&'static str, Box<dyn SeriesPredictor>)> {
+    let device = Arc::new(Device::default_gpu());
+    let hs: Vec<usize> = HORIZONS.to_vec();
+    let lin = LinearConfig { window: 16, horizons: hs.clone(), ..Default::default() };
+    let sg = SparseGpConfig {
+        window: 12,
+        horizons: hs.clone(),
+        active_points: 8,
+        stride: 4,
+        train_iters: 3,
+        ..SparseGpConfig::psgp()
+    };
+    let smiler_cfg = SmilerConfig { h_max: 6, ..Default::default() };
+    vec![
+        ("SMiLer-GP", Box::new(SmilerForecaster::gp(Arc::clone(&device), smiler_cfg.clone()))
+            as Box<dyn SeriesPredictor>),
+        ("SMiLer-AR", Box::new(SmilerForecaster::ar(device, smiler_cfg))),
+        (
+            "PSGP",
+            Box::new(sparse_gp::psgp(sg.clone())),
+        ),
+        (
+            "VLGP",
+            Box::new(sparse_gp::vlgp(SparseGpConfig {
+                objective: smiler_baselines::sparse_gp::SparseObjective::VariationalFreeEnergy,
+                ..sg
+            })),
+        ),
+        (
+            "NysSVR",
+            Box::new(nys_svr(NysSvrConfig {
+                window: 12,
+                horizons: hs.clone(),
+                rank: 12,
+                stride: 4,
+                ..Default::default()
+            })),
+        ),
+        ("SgdSVR", Box::new(linear::sgd_svr(lin.clone()))),
+        ("SgdRR", Box::new(linear::sgd_rr(lin.clone()))),
+        ("OnlineSVR", Box::new(linear::online_svr(lin.clone()))),
+        ("OnlineRR", Box::new(linear::online_rr(lin))),
+        ("LazyKNN", Box::new(LazyKnn::new(LazyKnnConfig { window: 12, k: 4, rho: 3, bootstrap: None }))),
+        ("FullHW", Box::new(HoltWinters::full(144))),
+        ("SegHW", Box::new(HoltWinters::segment(144))),
+    ]
+}
+
+#[test]
+fn every_model_survives_the_continuous_life_cycle() {
+    for kind in DatasetKind::all() {
+        let dataset = SyntheticSpec { kind, sensors: 1, days: 8, seed: 21 }.generate();
+        let series = dataset.sensors[0].values();
+        let steps = 8;
+        let split = series.len() - steps - 6;
+        for (name, mut model) in roster() {
+            assert_eq!(model.name(), name, "name must be stable");
+            model.train(&series[..split]);
+            for t in split..split + steps {
+                for &h in &HORIZONS {
+                    let (mean, var) = model.predict(h);
+                    assert!(
+                        mean.is_finite(),
+                        "{name} on {} produced non-finite mean at t={t} h={h}",
+                        dataset.name
+                    );
+                    assert!(
+                        var.is_finite() && var > 0.0,
+                        "{name} on {} produced bad variance {var} at t={t} h={h}",
+                        dataset.name
+                    );
+                }
+                model.observe(series[t]);
+            }
+        }
+    }
+}
+
+#[test]
+fn online_flags_match_paper_grouping() {
+    let offline = ["PSGP", "VLGP", "NysSVR", "SgdSVR", "SgdRR"];
+    let online = ["SMiLer-GP", "SMiLer-AR", "LazyKNN", "FullHW", "SegHW", "OnlineSVR", "OnlineRR"];
+    for (name, model) in roster() {
+        if offline.contains(&name) {
+            assert!(!model.is_online(), "{name} must be in the offline group");
+        } else if online.contains(&name) {
+            assert!(model.is_online(), "{name} must be in the online group");
+        } else {
+            panic!("{name} not classified");
+        }
+    }
+}
+
+#[test]
+fn models_handle_empty_and_tiny_training_sets() {
+    for (name, mut model) in roster() {
+        model.train(&[]);
+        let (mean, var) = model.predict(1);
+        assert!(mean.is_finite() && var > 0.0, "{name} failed on empty history");
+        model.train(&[0.5, 1.0, -0.5]);
+        model.observe(0.1);
+        let (mean, var) = model.predict(1);
+        assert!(mean.is_finite() && var > 0.0, "{name} failed on tiny history");
+    }
+}
+
+#[test]
+fn models_handle_constant_series() {
+    let series = vec![1.0; 800];
+    for (name, mut model) in roster() {
+        model.train(&series[..760]);
+        for v in &series[760..770] {
+            let (mean, var) = model.predict(1);
+            assert!(mean.is_finite(), "{name} mean on constant series");
+            assert!(var.is_finite() && var > 0.0, "{name} var on constant series");
+            model.observe(*v);
+        }
+        // Any sensible model predicts (close to) the constant.
+        let (mean, _) = model.predict(1);
+        assert!(
+            (mean - 1.0).abs() < 1.0,
+            "{name} predicted {mean} on a constant-1 series"
+        );
+    }
+}
