@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, build, tests.
+#
+# Usage: ./ci.sh [--quick]
+#   --quick  skip the release build and run only the fast test subset
+set -euo pipefail
+cd "$(dirname "$0")"
+
+QUICK=0
+if [[ "${1:-}" == "--quick" ]]; then
+    QUICK=1
+fi
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "$QUICK" == "1" ]]; then
+    echo "==> cargo test --workspace (lib + bins only)"
+    cargo test --workspace --lib --bins
+else
+    echo "==> cargo build --workspace --release"
+    cargo build --workspace --release
+
+    echo "==> cargo test --workspace"
+    cargo test --workspace
+fi
+
+echo "==> ci.sh: all checks passed"

@@ -69,7 +69,13 @@ struct HwState {
     count: usize,
 }
 
-fn smoothing_pass(data: &[f64], period: usize, alpha: f64, beta: f64, gamma: f64) -> Option<HwState> {
+fn smoothing_pass(
+    data: &[f64],
+    period: usize,
+    alpha: f64,
+    beta: f64,
+    gamma: f64,
+) -> Option<HwState> {
     if data.len() < 2 * period {
         return None;
     }
@@ -203,6 +209,7 @@ impl SeriesPredictor for HoltWinters {
     }
 
     fn predict(&mut self, h: usize) -> (f64, f64) {
+        smiler_obs::count("baseline.predict", self.name(), 1);
         // "used all the available data to construct the model for each
         // prediction" — the smoothing pass re-runs lazily per step, charged
         // to prediction time as in the paper's Table 4. The grid search is

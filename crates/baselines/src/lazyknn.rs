@@ -63,8 +63,7 @@ impl LazyKnn {
         let last_start = n - d - h;
         let mut best: Vec<(usize, f64)> = Vec::with_capacity(self.config.k + 1);
         for t in 0..=last_start {
-            let dist =
-                smiler_dtw::dtw_banded(query, &self.history[t..t + d], self.config.rho);
+            let dist = smiler_dtw::dtw_banded(query, &self.history[t..t + d], self.config.rho);
             if best.len() < self.config.k {
                 best.push((t, dist));
                 best.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
@@ -95,6 +94,7 @@ impl SeriesPredictor for LazyKnn {
     }
 
     fn predict(&mut self, h: usize) -> (f64, f64) {
+        smiler_obs::count("baseline.predict", self.name(), 1);
         let neighbors = self.knn(h);
         if neighbors.is_empty() {
             return (self.history.last().copied().unwrap_or(0.0), 1.0);
@@ -106,14 +106,11 @@ impl SeriesPredictor for LazyKnn {
         // produce infinite weight.
         let weights: Vec<f64> = neighbors.iter().map(|&(_, dist)| 1.0 / (dist + 1e-9)).collect();
         let wsum: f64 = weights.iter().sum();
-        let mean: f64 =
-            labels.iter().zip(&weights).map(|(y, w)| y * w).sum::<f64>() / wsum;
+        let mean: f64 = labels.iter().zip(&weights).map(|(y, w)| y * w).sum::<f64>() / wsum;
         let var = match self.config.bootstrap {
             // Paper default: plain variance of the kNN labels.
             None => smiler_linalg::stats::variance(&labels).max(1e-9),
-            Some(resamples) => {
-                bootstrap_variance(&labels, &weights, mean, resamples).max(1e-9)
-            }
+            Some(resamples) => bootstrap_variance(&labels, &weights, mean, resamples).max(1e-9),
         };
         (mean, var)
     }

@@ -92,7 +92,13 @@ struct HorizonModel {
 
 impl HorizonModel {
     fn new(d: usize) -> Self {
-        HorizonModel { weights: vec![0.0; d], bias: 0.0, resid_sum: 0.0, resid_sq_sum: 0.0, resid_n: 0.0 }
+        HorizonModel {
+            weights: vec![0.0; d],
+            bias: 0.0,
+            resid_sum: 0.0,
+            resid_sq_sum: 0.0,
+            resid_n: 0.0,
+        }
     }
 
     fn predict(&self, x: &[f64]) -> f64 {
@@ -199,8 +205,7 @@ impl SeriesPredictor for LinearSgd {
         } else {
             let horizons = self.config.horizons.clone();
             for (i, &h) in horizons.iter().enumerate() {
-                let (xs, ys) =
-                    training_pairs(history, self.config.window, h, self.config.stride);
+                let (xs, ys) = training_pairs(history, self.config.window, h, self.config.stride);
                 for _ in 0..self.config.epochs {
                     for (x, y) in xs.iter().zip(&ys) {
                         self.models[i].sgd_step(x, *y, lr, l2, loss);
@@ -218,6 +223,7 @@ impl SeriesPredictor for LinearSgd {
     }
 
     fn predict(&mut self, h: usize) -> (f64, f64) {
+        smiler_obs::count("baseline.predict", self.name(), 1);
         let i = self.horizon_index(h);
         match self.current_window() {
             Some(x) => (self.models[i].predict(x), self.models[i].variance()),
@@ -323,8 +329,9 @@ mod tests {
         good.train(&linear_series(400));
         let mut bad = sgd_svr(cfg);
         // White-noise-like data a linear model cannot fit.
-        let noisy: Vec<f64> =
-            (0..400).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 } * ((i * 37 % 13) as f64)).collect();
+        let noisy: Vec<f64> = (0..400)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 } * ((i * 37 % 13) as f64))
+            .collect();
         bad.train(&noisy);
         assert!(good.predict(1).1 < bad.predict(1).1);
     }

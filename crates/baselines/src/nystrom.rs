@@ -83,8 +83,7 @@ impl NysSvr {
         kmm.add_diagonal(1e-8 * hyper.prior_variance().max(1e-12));
         let chol = Cholesky::decompose_with_jitter(&kmm, 1e-10, 1e-2).ok()?;
         // Feature matrix Z (n×r).
-        let z: Vec<Vec<f64>> =
-            xs.iter().map(|x| feature(&chol, &hyper, &landmarks, x)).collect();
+        let z: Vec<Vec<f64>> = xs.iter().map(|x| feature(&chol, &hyper, &landmarks, x)).collect();
         let r = landmarks.rows();
         // Gram ZᵀZ + λI.
         let mut ztz = Matrix::zeros(r, r);
@@ -122,9 +121,7 @@ impl NysSvr {
             let residuals: Vec<f64> = zh
                 .iter()
                 .zip(&yh)
-                .map(|(zi, &yi)| {
-                    zi.iter().zip(&w).map(|(a, b)| a * b).sum::<f64>() - yi
-                })
+                .map(|(zi, &yi)| zi.iter().zip(&w).map(|(a, b)| a * b).sum::<f64>() - yi)
                 .collect();
             resid_var.push(smiler_linalg::stats::variance(&residuals).max(1e-6));
             weights.push(w);
@@ -185,9 +182,7 @@ impl SeriesPredictor for NysSvr {
             }
         }
         // Refit the winner on all data.
-        self.fitted = best.and_then(|(_, fit)| {
-            self.fit_with_hyper(&xs, fit.hyper, landmarks)
-        });
+        self.fitted = best.and_then(|(_, fit)| self.fit_with_hyper(&xs, fit.hyper, landmarks));
     }
 
     fn observe(&mut self, value: f64) {
@@ -195,6 +190,7 @@ impl SeriesPredictor for NysSvr {
     }
 
     fn predict(&mut self, h: usize) -> (f64, f64) {
+        smiler_obs::count("baseline.predict", self.name(), 1);
         let Some(f) = &self.fitted else {
             return (self.history.last().copied().unwrap_or(0.0), 1.0);
         };

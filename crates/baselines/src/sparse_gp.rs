@@ -121,10 +121,8 @@ fn max_min_selection(xs: &[Vec<f64>], m: usize) -> Vec<usize> {
     }
     let m = m.min(n);
     let mut chosen = vec![0usize];
-    let mut dist: Vec<f64> = xs
-        .iter()
-        .map(|x| smiler_linalg::vector::squared_distance(x, &xs[0]))
-        .collect();
+    let mut dist: Vec<f64> =
+        xs.iter().map(|x| smiler_linalg::vector::squared_distance(x, &xs[0])).collect();
     while chosen.len() < m {
         let (next, &best) = dist
             .iter()
@@ -242,8 +240,7 @@ impl SeriesPredictor for SparseGp {
         }
         // Inducing set: greedy max-min over the training inputs.
         let chosen = max_min_selection(&xs, cfg.active_points);
-        let inducing =
-            Matrix::from_fn(chosen.len(), cfg.window, |i, j| xs[chosen[i]][j]);
+        let inducing = Matrix::from_fn(chosen.len(), cfg.window, |i, j| xs[chosen[i]][j]);
 
         // Hyperparameter training on 1-step targets with finite-difference
         // CG (see module docs).
@@ -295,8 +292,7 @@ impl SeriesPredictor for SparseGp {
         let mut weights = Vec::with_capacity(cfg.horizons.len());
         for &h in &cfg.horizons {
             let (xh, yh) = training_pairs(history, cfg.window, h, cfg.stride);
-            let knm_h =
-                if h == 1 { knm.clone() } else { cross_cov(&xh, &inducing, &hyper) };
+            let knm_h = if h == 1 { knm.clone() } else { cross_cov(&xh, &inducing, &hyper) };
             let kmn_y = knm_h.matvec_t(&yh);
             let mut w = chol_a.solve(&kmn_y);
             for wi in &mut w {
@@ -314,6 +310,7 @@ impl SeriesPredictor for SparseGp {
     }
 
     fn predict(&mut self, h: usize) -> (f64, f64) {
+        smiler_obs::count("baseline.predict", self.name(), 1);
         let Some(f) = &self.fitted else {
             return (self.history.last().copied().unwrap_or(0.0), 1.0);
         };
@@ -336,8 +333,7 @@ impl SeriesPredictor for SparseGp {
         let mean: f64 = km.iter().zip(&f.weights[hi]).map(|(k, w)| k * w).sum();
         let noise = (f.hyper.theta2 * f.hyper.theta2).max(1e-10);
         let prior = f.hyper.theta0 * f.hyper.theta0;
-        let var = (prior - f.chol_kmm.quad_form(&km) + f.chol_a.quad_form(&km) + noise)
-            .max(noise);
+        let var = (prior - f.chol_kmm.quad_form(&km) + f.chol_a.quad_form(&km) + noise).max(noise);
         (mean, var)
     }
 }

@@ -9,7 +9,8 @@ use smiler_linalg::Matrix;
 use std::hint::black_box;
 
 fn knn_data(k: usize, d: usize) -> (Matrix, Vec<f64>) {
-    let x = Matrix::from_fn(k, d, |i, j| ((i * 31 + j * 7) % 17) as f64 * 0.1 + (j as f64 * 0.2).sin());
+    let x =
+        Matrix::from_fn(k, d, |i, j| ((i * 31 + j * 7) % 17) as f64 * 0.1 + (j as f64 * 0.2).sin());
     let y: Vec<f64> = (0..k).map(|i| (i as f64 * 0.4).sin()).collect();
     (x, y)
 }

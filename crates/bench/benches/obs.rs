@@ -1,0 +1,56 @@
+//! Overhead guard for the observability layer: the same suffix-kNN search
+//! with the global switch off vs on. The disabled case is the cost every
+//! production run pays for the permanently-wired instrumentation, so it
+//! must track the uninstrumented baseline; the enabled case quantifies the
+//! price of turning recording on.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use smiler_gpu::Device;
+use smiler_index::{IndexParams, SmilerIndex};
+use smiler_timeseries::synthetic::{DatasetKind, SyntheticSpec};
+
+fn road_sensor(days: usize) -> Vec<f64> {
+    SyntheticSpec { kind: DatasetKind::Road, sensors: 1, days, seed: 7 }
+        .generate()
+        .sensors
+        .remove(0)
+        .values()
+        .to_vec()
+}
+
+fn bench_search_overhead(c: &mut Criterion) {
+    let series = road_sensor(8);
+    let device = Device::default_gpu();
+    let mut group = c.benchmark_group("obs_overhead");
+    for (name, enabled) in [("search_disabled", false), ("search_enabled", true)] {
+        group.bench_function(name, |b| {
+            smiler_obs::reset();
+            smiler_obs::set_enabled(enabled);
+            let mut index = SmilerIndex::build(&device, series.clone(), IndexParams::default());
+            let max_end = series.len() - 30;
+            b.iter(|| black_box(index.search(&device, max_end)));
+            smiler_obs::set_enabled(false);
+            smiler_obs::reset();
+        });
+    }
+    group.finish();
+}
+
+fn bench_record_calls(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_record");
+    group.bench_function("count_disabled", |b| {
+        smiler_obs::set_enabled(false);
+        b.iter(|| smiler_obs::count(black_box("bench.counter"), "", 1));
+    });
+    group.bench_function("count_enabled", |b| {
+        smiler_obs::reset();
+        smiler_obs::set_enabled(true);
+        b.iter(|| smiler_obs::count(black_box("bench.counter"), "", 1));
+        smiler_obs::set_enabled(false);
+        smiler_obs::reset();
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_search_overhead, bench_record_calls);
+criterion_main!(benches);

@@ -30,12 +30,11 @@ fn bench_methods(c: &mut Criterion) {
 
     group.bench_function("smiler_idx", |b| {
         let device = Device::default_gpu();
-        let mut index = SmilerIndex::build(&device, series.clone(), IndexParams {
-            rho: RHO,
-            omega: 16,
-            lengths: ELV.to_vec(),
-            k_max: K,
-        });
+        let mut index = SmilerIndex::build(
+            &device,
+            series.clone(),
+            IndexParams { rho: RHO, omega: 16, lengths: ELV.to_vec(), k_max: K },
+        );
         index.search(&device, max_end);
         b.iter(|| index.search(&device, max_end))
     });

@@ -49,9 +49,7 @@ fn bench_multi_query(c: &mut Criterion) {
         b.iter(|| {
             rows.iter()
                 .map(|row| {
-                    parallel
-                        .launch(1, |ctx| kselect::select_k_smallest(ctx, row, 32))
-                        .results
+                    parallel.launch(1, |ctx| kselect::select_k_smallest(ctx, row, 32)).results
                 })
                 .collect::<Vec<_>>()
                 .len()

@@ -2,27 +2,62 @@
 //!
 //! ```text
 //! cargo run -p smiler-bench --release --bin expt -- <id> [--smoke]
+//!     [--metrics-out <path>] [--trace-out <path>]
 //!
 //!   ids: table3 fig7 fig8 fig9 fig10 fig11 table4 fig12 fig13 all
-//!   --smoke   tiny datasets (CI-sized), same code paths
+//!   --smoke              tiny datasets (CI-sized), same code paths
+//!   --metrics-out <path> enable observability; write per-experiment
+//!                        metrics (counters/histograms/spans) as JSONL
+//!   --trace-out <path>   enable observability; write the event trace
 //! ```
 //!
 //! Each experiment prints the paper-style table and appends JSON rows to
-//! `results/<id>.jsonl` for EXPERIMENTS.md.
+//! `results/<id>.jsonl` for EXPERIMENTS.md. With observability on, the
+//! phase-span aggregates are also embedded into the records as extra
+//! `obs.*` measurements.
 
 use smiler_bench::experiments::{ablation, predict, scale as scale_expts, search};
 use smiler_bench::{report, ExptScale, Measurement};
 use std::path::PathBuf;
 
+const USAGE: &str =
+    "usage: expt <table3|fig7|fig8|fig9|fig10|fig11|table4|fig12|fig13|ablation|all> \
+     [--smoke] [--metrics-out <path>] [--trace-out <path>]";
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let ids: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let mut smoke = false;
+    let mut metrics_out: Option<PathBuf> = None;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut raw = std::env::args().skip(1);
+    while let Some(arg) = raw.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--metrics-out" | "--trace-out" => {
+                let value = raw.next().unwrap_or_else(|| {
+                    eprintln!("{arg} requires a path\n{USAGE}");
+                    std::process::exit(2);
+                });
+                if arg == "--metrics-out" {
+                    metrics_out = Some(PathBuf::from(value));
+                } else {
+                    trace_out = Some(PathBuf::from(value));
+                }
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
     if ids.is_empty() {
-        eprintln!(
-            "usage: expt <table3|fig7|fig8|fig9|fig10|fig11|table4|fig12|fig13|ablation|all> [--smoke]"
-        );
+        eprintln!("{USAGE}");
         std::process::exit(2);
+    }
+    let observing = metrics_out.is_some() || trace_out.is_some();
+    if observing {
+        smiler_obs::set_enabled(true);
     }
     let scale = if smoke { ExptScale::smoke() } else { ExptScale::default_scale() };
     println!(
@@ -30,10 +65,17 @@ fn main() {
         scale.sensors, scale.days, scale.seed
     );
     let results_dir = PathBuf::from("results");
+    // Accumulated across experiments: each experiment runs against freshly
+    // reset observability state, and its rows are appended here.
+    let mut metrics_doc = String::new();
+    let mut trace_doc = String::new();
 
-    let run = |id: &str| -> Vec<Measurement> {
+    let mut run = |id: &str| {
+        if observing {
+            smiler_obs::reset();
+        }
         let t0 = std::time::Instant::now();
-        let records = match id {
+        let mut records = match id {
             "table3" => search::table3(&scale),
             "fig7" => search::fig7(&scale),
             "fig8" => search::fig8(&scale),
@@ -54,19 +96,91 @@ fn main() {
             }
         };
         eprintln!("[{id}] finished in {:.1}s", t0.elapsed().as_secs_f64());
+        if observing {
+            records.extend(obs_measurements(id));
+            metrics_doc.push_str(&smiler_obs::metrics_jsonl_string());
+            trace_doc.push_str(&smiler_obs::trace_jsonl_string());
+            let table = smiler_obs::summary_table();
+            if !table.is_empty() {
+                eprintln!("[{id}] observability summary:\n{table}");
+            }
+        }
         report::write_records(&results_dir, id, &records);
-        records
     };
 
-    let all =
-        ["table3", "fig7", "fig8", "fig9", "fig10", "fig11", "table4", "fig12", "fig13", "ablation"];
-    if ids.contains(&"all") {
+    let all = [
+        "table3", "fig7", "fig8", "fig9", "fig10", "fig11", "table4", "fig12", "fig13", "ablation",
+    ];
+    if ids.iter().any(|i| i == "all") {
         for id in all {
             run(id);
         }
     } else {
-        for id in ids {
+        for id in &ids {
             run(id);
         }
     }
+
+    if let Some(path) = &metrics_out {
+        if let Err(e) = std::fs::write(path, &metrics_doc) {
+            eprintln!("[obs] could not write metrics to {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("[obs] metrics -> {}", path.display());
+    }
+    if let Some(path) = &trace_out {
+        if let Err(e) = std::fs::write(path, &trace_doc) {
+            eprintln!("[obs] could not write trace to {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("[obs] trace -> {}", path.display());
+    }
+}
+
+/// Fold the observability aggregates into the experiment's record rows so
+/// `results/<id>.jsonl` carries the phase breakdown next to the headline
+/// numbers.
+fn obs_measurements(id: &str) -> Vec<Measurement> {
+    let mut extra = Vec::new();
+    for s in smiler_obs::span_snapshot() {
+        extra.push(Measurement::new(
+            id,
+            None,
+            "obs.span",
+            Some(s.path.clone()),
+            "total_seconds",
+            s.total_seconds,
+        ));
+        extra.push(Measurement::new(
+            id,
+            None,
+            "obs.span",
+            Some(s.path.clone()),
+            "count",
+            s.count as f64,
+        ));
+    }
+    let snap = smiler_obs::metrics_snapshot();
+    for c in &snap.counters {
+        extra.push(Measurement::new(
+            id,
+            None,
+            "obs.counter",
+            Some(format!("{}{{{}}}", c.name, c.label)),
+            "value",
+            c.value as f64,
+        ));
+    }
+    for h in &snap.histograms {
+        let mean = if h.count > 0 { h.sum / h.count as f64 } else { f64::NAN };
+        extra.push(Measurement::new(
+            id,
+            None,
+            "obs.histogram",
+            Some(format!("{}{{{}}}", h.name, h.label)),
+            "mean",
+            mean,
+        ));
+    }
+    extra
 }

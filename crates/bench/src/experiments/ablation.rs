@@ -68,8 +68,8 @@ fn threshold_strategies(scale: &ExptScale) -> Vec<Measurement> {
         ("PaperKthLb", ThresholdStrategy::PaperKthLb),
     ] {
         let device = Device::default_gpu();
-        let mut index = SmilerIndex::build(&device, series.clone(), params.clone())
-            .with_threshold(strategy);
+        let mut index =
+            SmilerIndex::build(&device, series.clone(), params.clone()).with_threshold(strategy);
         let out = index.search(&device, max_end);
         let mut hits = 0usize;
         let mut total = 0usize;
@@ -82,20 +82,9 @@ fn threshold_strategies(scale: &ExptScale) -> Vec<Measurement> {
         }
         let recall = hits as f64 / total as f64;
         let verified: usize = out.stats.unfiltered.iter().sum();
-        rows.push(vec![
-            name.to_string(),
-            format!("{recall:.3}"),
-            verified.to_string(),
-        ]);
+        rows.push(vec![name.to_string(), format!("{recall:.3}"), verified.to_string()]);
         records.push(Measurement::new("ablation", None, name, None, "recall", recall));
-        records.push(Measurement::new(
-            "ablation",
-            None,
-            name,
-            None,
-            "verified",
-            verified as f64,
-        ));
+        records.push(Measurement::new("ablation", None, name, None, "verified", verified as f64));
     }
     print_table(
         "Ablation 1: filter threshold strategy (ROAD sensor 0, k=32)",
@@ -217,12 +206,7 @@ fn phase_separation(scale: &ExptScale) -> Vec<Measurement> {
     ]];
     print_table(
         "Ablation 3: §4.4 two-phase filter/verify vs fused divergent kernel",
-        &[
-            "survivor rate".into(),
-            "two-phase".into(),
-            "fused (divergent)".into(),
-            "penalty".into(),
-        ],
+        &["survivor rate".into(), "two-phase".into(), "fused (divergent)".into(), "penalty".into()],
         &rows,
     );
     vec![
@@ -242,8 +226,7 @@ fn fleet_batching(scale: &ExptScale) -> Vec<Measurement> {
             .map(|s| SmilerIndex::build(device, s.values().to_vec(), params.clone()))
             .collect()
     };
-    let max_ends: Vec<usize> =
-        dataset.sensors.iter().map(|s| s.len() - 30).collect();
+    let max_ends: Vec<usize> = dataset.sensors.iter().map(|s| s.len() - 30).collect();
 
     let dev_solo = Device::default_gpu();
     let mut solo = build(&dev_solo);
@@ -258,8 +241,7 @@ fn fleet_batching(scale: &ExptScale) -> Vec<Measurement> {
     dev_fleet.reset_clock();
     let mut refs: Vec<&mut SmilerIndex> = fleet.iter_mut().collect();
     fleet_search(&dev_fleet, &mut refs, &max_ends);
-    let (fleet_launches, fleet_time) =
-        (dev_fleet.kernel_launches(), dev_fleet.elapsed_seconds());
+    let (fleet_launches, fleet_time) = (dev_fleet.kernel_launches(), dev_fleet.elapsed_seconds());
 
     let rows = vec![
         vec!["per-sensor".into(), solo_launches.to_string(), fmt_seconds(solo_time)],
@@ -338,10 +320,7 @@ fn ensemble_size(scale: &ExptScale) -> Vec<Measurement> {
     let config = EvalConfig { horizons: vec![1, 5, 10], steps: scale.eval_steps.min(40) };
     let variants: Vec<(&str, EnsembleConfig)> = vec![
         ("1x1 (k=32,d=64)", EnsembleConfig::single(32, 64)),
-        (
-            "2x2",
-            EnsembleConfig { ekv: vec![16, 32], elv: vec![32, 64], ..Default::default() },
-        ),
+        ("2x2", EnsembleConfig { ekv: vec![16, 32], elv: vec![32, 64], ..Default::default() }),
         ("3x3 (paper)", EnsembleConfig::default()),
     ];
     let mut rows = Vec::new();

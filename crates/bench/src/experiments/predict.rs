@@ -49,8 +49,7 @@ pub fn build_model(
 ) -> Box<dyn SeriesPredictor> {
     let hs = horizons();
     let stride = stride_for(history_len);
-    let linear_cfg =
-        LinearConfig { window: 32, horizons: hs.clone(), ..Default::default() };
+    let linear_cfg = LinearConfig { window: 32, horizons: hs.clone(), ..Default::default() };
     match name {
         "SMiLer-GP" => Box::new(SmilerForecaster::gp(Arc::clone(device), smiler_config())),
         "SMiLer-AR" => Box::new(SmilerForecaster::ar(Arc::clone(device), smiler_config())),
@@ -71,7 +70,9 @@ pub fn build_model(
         "SgdRR" => Box::new(linear::sgd_rr(linear_cfg)),
         "OnlineSVR" => Box::new(linear::online_svr(linear_cfg)),
         "OnlineRR" => Box::new(linear::online_rr(linear_cfg)),
-        "LazyKNN" => Box::new(LazyKnn::new(LazyKnnConfig { window: 32, k: 16, rho: 8, bootstrap: None })),
+        "LazyKNN" => {
+            Box::new(LazyKnn::new(LazyKnnConfig { window: 32, k: 16, rho: 8, bootstrap: None }))
+        }
         "FullHW" => Box::new(HoltWinters::full(samples_per_day)),
         "SegHW" => Box::new(HoltWinters::segment(samples_per_day)),
         other => panic!("unknown model {other}"),
@@ -90,11 +91,7 @@ pub fn online_roster() -> Vec<&'static str> {
 }
 
 /// Evaluate one named model on a dataset (averaged over the sensor prefix).
-pub fn evaluate_model(
-    name: &str,
-    dataset: &SensorDataset,
-    steps: usize,
-) -> EvalResult {
+pub fn evaluate_model(name: &str, dataset: &SensorDataset, steps: usize) -> EvalResult {
     let device = Arc::new(Device::default_gpu());
     let config = EvalConfig { horizons: horizons(), steps };
     let per_sensor: Vec<EvalResult> = dataset
@@ -102,8 +99,7 @@ pub fn evaluate_model(
         .iter()
         .take(EVAL_SENSORS)
         .map(|sensor| {
-            let mut model =
-                build_model(name, &device, dataset.samples_per_day, sensor.len());
+            let mut model = build_model(name, &device, dataset.samples_per_day, sensor.len());
             evaluate(model.as_mut(), sensor.values(), &config)
         })
         .collect();
@@ -166,10 +162,7 @@ fn print_metric_tables(title: &str, results: &[EvalResult]) {
     let hs = horizons();
     let header: Vec<String> =
         std::iter::once("model".to_string()).chain(hs.iter().map(|h| format!("h={h}"))).collect();
-    for (metric, pick) in [
-        ("MAE", true),
-        ("MNLPD", false),
-    ] {
+    for (metric, pick) in [("MAE", true), ("MNLPD", false)] {
         let rows: Vec<Vec<String>> = results
             .iter()
             .map(|r| {
@@ -215,10 +208,7 @@ pub fn fig10(scale: &ExptScale) -> Vec<Measurement> {
 pub fn fig11(scale: &ExptScale) -> Vec<Measurement> {
     let variants: Vec<(&str, SmilerConfig)> = vec![
         ("SMiLer", smiler_config()),
-        (
-            "SMiLerNE",
-            SmilerConfig { ensemble: EnsembleConfig::single(32, 64), ..smiler_config() },
-        ),
+        ("SMiLerNE", SmilerConfig { ensemble: EnsembleConfig::single(32, 64), ..smiler_config() }),
         (
             "SMiLerNS",
             SmilerConfig {

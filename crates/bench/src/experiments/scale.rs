@@ -19,9 +19,10 @@ pub fn fig12_cost(scale: &ExptScale) -> Vec<Measurement> {
     let mut rows = Vec::new();
     for kind in DatasetKind::all() {
         let dataset = scale.dataset(kind);
-        for (kind_name, pk) in
-            [("SMiLer-AR", PredictorKind::Aggregation), ("SMiLer-GP", PredictorKind::GaussianProcess)]
-        {
+        for (kind_name, pk) in [
+            ("SMiLer-AR", PredictorKind::Aggregation),
+            ("SMiLer-GP", PredictorKind::GaussianProcess),
+        ] {
             let device = Arc::new(Device::default_gpu());
             let histories: Vec<Vec<f64>> =
                 dataset.sensors.iter().map(|s| s.values().to_vec()).collect();

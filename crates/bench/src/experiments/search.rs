@@ -57,8 +57,7 @@ fn run_smiler_idx(
     let mut unfiltered_samples = 0usize;
     for sensor in &dataset.sensors {
         let (history, future) = split_series(sensor.values(), steps);
-        let mut index =
-            SmilerIndex::build(&device, history, index_params(k)).with_bound_mode(mode);
+        let mut index = SmilerIndex::build(&device, history, index_params(k)).with_bound_mode(mode);
         // Initial search warms the continuous-threshold reuse (unmeasured,
         // like the paper's initial query).
         let len = index.series().len();
@@ -87,12 +86,16 @@ fn run_smiler_idx(
 
 /// Run a scan baseline over all sensors for `steps` continuous steps;
 /// returns total simulated seconds per query step.
-fn run_scan<F>(dataset: &smiler_timeseries::SensorDataset, steps: usize, gpu: bool, scan_fn: F) -> f64
+fn run_scan<F>(
+    dataset: &smiler_timeseries::SensorDataset,
+    steps: usize,
+    gpu: bool,
+    scan_fn: F,
+) -> f64
 where
     F: Fn(&Device, &[f64], usize),
 {
-    let device =
-        if gpu { Device::default_gpu() } else { Device::cpu(CpuSpec::default()) };
+    let device = if gpu { Device::default_gpu() } else { Device::cpu(CpuSpec::default()) };
     let mut total = 0.0;
     for sensor in &dataset.sensors {
         let (mut history, future) = split_series(sensor.values(), steps);
@@ -244,8 +247,22 @@ pub fn fig8(scale: &ExptScale) -> Vec<Measurement> {
             fmt_seconds(dir_lb),
             format!("{:.1}x", dir_lb / idx.lb_s.max(1e-12)),
         ]);
-        records.push(Measurement::new("fig8", Some(&dataset.name), "SMiLer-Idx", None, "lb_time_s", idx.lb_s));
-        records.push(Measurement::new("fig8", Some(&dataset.name), "SMiLer-Dir", None, "lb_time_s", dir_lb));
+        records.push(Measurement::new(
+            "fig8",
+            Some(&dataset.name),
+            "SMiLer-Idx",
+            None,
+            "lb_time_s",
+            idx.lb_s,
+        ));
+        records.push(Measurement::new(
+            "fig8",
+            Some(&dataset.name),
+            "SMiLer-Dir",
+            None,
+            "lb_time_s",
+            dir_lb,
+        ));
     }
     print_table(
         "Fig 8: LBen computation time for all sensors (per query step)",

@@ -75,8 +75,7 @@ mod tests {
     #[test]
     fn records_round_trip() {
         let dir = std::env::temp_dir().join("smiler_test_records");
-        let records =
-            vec![Measurement::new("test", None, "m", None, "v", 1.0)];
+        let records = vec![Measurement::new("test", None, "m", None, "v", 1.0)];
         write_records(&dir, "unit", &records);
         let content = std::fs::read_to_string(dir.join("unit.jsonl")).unwrap();
         assert!(content.contains("\"test\""));

@@ -88,10 +88,9 @@ impl Args {
     pub fn get_or<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, ArgError> {
         match self.get(flag) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| ArgError::Invalid {
-                flag: flag.to_string(),
-                value: v.to_string(),
-            }),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError::Invalid { flag: flag.to_string(), value: v.to_string() }),
         }
     }
 
@@ -167,10 +166,7 @@ mod tests {
 
     #[test]
     fn extra_positional_rejected() {
-        assert!(matches!(
-            parse(&["forecast", "extra"]),
-            Err(ArgError::UnexpectedPositional(_))
-        ));
+        assert!(matches!(parse(&["forecast", "extra"]), Err(ArgError::UnexpectedPositional(_))));
     }
 
     #[test]

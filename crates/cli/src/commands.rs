@@ -57,7 +57,7 @@ smiler — semi-lazy time series prediction for sensors (SIGMOD'15 reproduction)
 
 USAGE:
   smiler forecast --input <file> [--column <name>] [--horizons 1,6]
-                  [--predictor gp|ar] [--interval]
+                  [--predictor gp|ar] [--warmup 16] [--interval]
   smiler evaluate --input <file> [--column <name>] [--steps 50]
                   [--horizons 1,5,10] [--models smiler-gp,smiler-ar,lazyknn,...]
   smiler generate --dataset road|mall|net [--days 14] [--seed 7]
@@ -65,6 +65,11 @@ USAGE:
 
 Series files are one-value-per-line or CSV (use --column for a named CSV
 column). Forecasts are printed in the input's units.
+
+OBSERVABILITY (any command):
+  --metrics-out <path>   write end-of-run metrics as JSON lines
+  --trace-out <path>     write the event/span trace as JSON lines
+  --quiet                suppress the human-readable summary table
 ";
 
 /// Dispatch a parsed command line.
@@ -72,14 +77,41 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     if args.switch("help") {
         return Ok(USAGE.to_string());
     }
-    match args.command.as_deref() {
+    let metrics_out = args.get("metrics-out").map(std::path::PathBuf::from);
+    let trace_out = args.get("trace-out").map(std::path::PathBuf::from);
+    let observing = metrics_out.is_some() || trace_out.is_some();
+    if observing {
+        smiler_obs::reset();
+        smiler_obs::set_enabled(true);
+    }
+    let mut output = match args.command.as_deref() {
         Some("forecast") => forecast(args),
         Some("evaluate") => evaluate_cmd(args),
         Some("generate") => generate(args),
         Some("info") => Ok(info()),
         Some(other) => Err(CliError::Other(format!("unknown command {other:?}\n\n{USAGE}"))),
         None => Ok(USAGE.to_string()),
+    }?;
+    if observing {
+        if let Some(path) = &metrics_out {
+            smiler_obs::write_metrics_jsonl(path).map_err(|e| {
+                CliError::Other(format!("cannot write metrics to {}: {e}", path.display()))
+            })?;
+        }
+        if let Some(path) = &trace_out {
+            smiler_obs::write_trace_jsonl(path).map_err(|e| {
+                CliError::Other(format!("cannot write trace to {}: {e}", path.display()))
+            })?;
+        }
+        if !args.switch("quiet") {
+            let table = smiler_obs::summary_table();
+            if !table.is_empty() {
+                output.push_str("\n-- observability summary --\n");
+                output.push_str(&table);
+            }
+        }
     }
+    Ok(output)
 }
 
 fn load_series(args: &Args) -> Result<Vec<f64>, CliError> {
@@ -100,10 +132,10 @@ fn forecast(args: &Args) -> Result<String, CliError> {
 
     let config = SmilerConfig { h_max, ..Default::default() };
     let d_master = *config.ensemble.elv.iter().max().expect("non-empty ELV");
-    if raw.len() < d_master + h_max + 1 {
+    let needed = d_master + h_max + 1;
+    if raw.len() < needed {
         return Err(CliError::Other(format!(
-            "need at least {} observations for the default configuration, got {}",
-            d_master + h_max + 1,
+            "need at least {needed} observations for the default configuration, got {}",
             raw.len()
         )));
     }
@@ -112,7 +144,20 @@ fn forecast(args: &Args) -> Result<String, CliError> {
     let znorm = ZNorm::fit(&raw);
     let normalised = znorm.apply_all(&raw);
     let device = Arc::new(Device::default_gpu());
-    let mut predictor = SensorPredictor::new(device, 0, normalised, config, predictor_kind);
+
+    // Warm-up replay: hold back the last `warmup` observations, then feed
+    // them through predict/observe so the ensemble weights (and, for GP,
+    // the hyperparameters) adapt to the series before the real forecast —
+    // the same continuous loop the paper's system runs. Clamped so the
+    // held-back prefix still supports the configuration.
+    let warmup = args.get_or("warmup", 16usize)?.min(normalised.len() - needed);
+    let split = normalised.len() - warmup;
+    let mut predictor =
+        SensorPredictor::new(device, 0, normalised[..split].to_vec(), config, predictor_kind);
+    for &v in &normalised[split..] {
+        let _ = predictor.predict(1);
+        predictor.observe(v);
+    }
 
     let mut out = String::new();
     let _ = writeln!(out, "forecasts from t = {} ({} observations read):", raw.len(), raw.len());
@@ -159,8 +204,8 @@ fn make_model(
         "onlinerr" => Box::new(linear::online_rr(lin)),
         other => {
             return Err(CliError::Other(format!(
-                "unknown model {other:?} (smiler-gp|smiler-ar|lazyknn|holtwinters|onlinesvr|onlinerr)"
-            )))
+            "unknown model {other:?} (smiler-gp|smiler-ar|lazyknn|holtwinters|onlinesvr|onlinerr)"
+        )))
         }
     })
 }
@@ -190,24 +235,15 @@ fn evaluate_cmd(args: &Args) -> Result<String, CliError> {
     let config = EvalConfig { horizons: horizons.clone(), steps };
     let device = Arc::new(Device::default_gpu());
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "{:<12} {:>10} {:>10}   per-horizon MAE",
-        "model", "MAE", "MNLPD"
-    );
+    let _ = writeln!(out, "{:<12} {:>10} {:>10}   per-horizon MAE", "model", "MAE", "MNLPD");
     for name in &model_list {
         let mut model = make_model(name, &device, &horizons, period)?;
         let r = evaluate(model.as_mut(), &normalised, &config);
         let avg_mae: f64 = r.mae.values().sum::<f64>() / r.mae.len() as f64;
         let avg_nlpd: f64 = r.mnlpd.values().sum::<f64>() / r.mnlpd.len() as f64;
-        let detail: Vec<String> =
-            r.mae.iter().map(|(h, m)| format!("h{h}:{m:.3}")).collect();
-        let _ = writeln!(
-            out,
-            "{:<12} {avg_mae:>10.4} {avg_nlpd:>10.4}   {}",
-            r.name,
-            detail.join(" ")
-        );
+        let detail: Vec<String> = r.mae.iter().map(|(h, m)| format!("h{h}:{m:.3}")).collect();
+        let _ =
+            writeln!(out, "{:<12} {avg_mae:>10.4} {avg_nlpd:>10.4}   {}", r.name, detail.join(" "));
     }
     Ok(out)
 }
@@ -322,6 +358,45 @@ mod tests {
     }
 
     #[test]
+    fn forecast_with_observability_writes_jsonl() {
+        let path = write_temp_series("smiler_cli_obs.csv", 400);
+        let metrics = std::env::temp_dir().join("smiler_cli_obs_metrics.jsonl");
+        let trace = std::env::temp_dir().join("smiler_cli_obs_trace.jsonl");
+        let s = run(&args(&[
+            "forecast",
+            "--input",
+            path.to_str().unwrap(),
+            "--predictor",
+            "gp",
+            "--horizons",
+            "1",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(s.contains("observability summary"), "{s}");
+        let m = std::fs::read_to_string(&metrics).unwrap();
+        for needle in [
+            "search/filter",
+            "search/verify",
+            "search/select",
+            "gp.train",
+            "ensemble.update",
+            "search.pruning_ratio",
+        ] {
+            assert!(m.contains(needle), "metrics file missing {needle}:\n{m}");
+        }
+        let t = std::fs::read_to_string(&trace).unwrap();
+        assert!(t.lines().count() > 0);
+        assert!(t.lines().all(|l| l.starts_with('{') && l.ends_with('}')), "{t}");
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(metrics);
+        let _ = std::fs::remove_file(trace);
+    }
+
+    #[test]
     fn forecast_rejects_short_series() {
         let path = write_temp_series("smiler_cli_short.csv", 20);
         let err = run(&args(&["forecast", "--input", path.to_str().unwrap()])).unwrap_err();
@@ -354,14 +429,9 @@ mod tests {
     #[test]
     fn unknown_model_is_reported() {
         let path = write_temp_series("smiler_cli_badmodel.csv", 500);
-        let err = run(&args(&[
-            "evaluate",
-            "--input",
-            path.to_str().unwrap(),
-            "--models",
-            "nonsense",
-        ]))
-        .unwrap_err();
+        let err =
+            run(&args(&["evaluate", "--input", path.to_str().unwrap(), "--models", "nonsense"]))
+                .unwrap_err();
         assert!(err.to_string().contains("unknown model"));
         let _ = std::fs::remove_file(path);
     }

@@ -143,8 +143,7 @@ impl EnsembleMatrix {
             }
             let w = 1.0 / avail.len() as f64;
             let mean: f64 = avail.iter().map(|(u, _)| w * u).sum();
-            let var: f64 =
-                avail.iter().map(|(u, v)| w * (v + u * u)).sum::<f64>() - mean * mean;
+            let var: f64 = avail.iter().map(|(u, v)| w * (v + u * u)).sum::<f64>() - mean * mean;
             return Some((mean, var.max(1e-9)));
         }
         let mut mean = 0.0;
@@ -218,6 +217,15 @@ impl EnsembleMatrix {
             for &idx in &recovered {
                 self.lambda[idx] = w;
                 self.sleep[idx].just_recovered = true;
+                if smiler_obs::enabled() {
+                    let (k, d) = self.config.cell(idx);
+                    smiler_obs::count("ensemble.wakes", "", 1);
+                    smiler_obs::event(
+                        "ensemble.wake",
+                        &format!("cell={idx}"),
+                        &CellTransition { cell: idx, k, d, counter: self.sleep[idx].counter },
+                    );
+                }
             }
             self.normalize_awake();
         }
@@ -258,6 +266,16 @@ impl EnsembleMatrix {
                 s.remaining = s.counter;
                 s.just_recovered = false;
                 self.lambda[idx] = 0.0;
+                if smiler_obs::enabled() {
+                    let (k, d) = self.config.cell(idx);
+                    let counter = self.sleep[idx].counter;
+                    smiler_obs::count("ensemble.sleeps", "", 1);
+                    smiler_obs::event(
+                        "ensemble.sleep",
+                        &format!("cell={idx}"),
+                        &CellTransition { cell: idx, k, d, counter },
+                    );
+                }
             } else {
                 // Survived a scored step awake: halve ς towards 1.
                 s.counter = (s.counter / 2).max(1);
@@ -265,17 +283,21 @@ impl EnsembleMatrix {
             }
         }
         self.normalize_awake();
+        if smiler_obs::enabled() {
+            smiler_obs::gauge_set("ensemble.awake_cells", "", self.awake_count() as f64);
+            smiler_obs::event(
+                "ensemble.lambda",
+                "",
+                &LambdaSnapshot { lambda: self.lambda.clone(), awake: self.awake_count() },
+            );
+        }
     }
 
     /// Capture the adaptive state for persistence.
     pub fn snapshot(&self) -> EnsembleState {
         EnsembleState {
             lambda: self.lambda.clone(),
-            sleep: self
-                .sleep
-                .iter()
-                .map(|s| (s.remaining, s.counter, s.just_recovered))
-                .collect(),
+            sleep: self.sleep.iter().map(|s| (s.remaining, s.counter, s.just_recovered)).collect(),
         }
     }
 
@@ -327,6 +349,28 @@ impl EnsembleMatrix {
     }
 }
 
+/// Event payload for a cell falling asleep or waking up.
+#[derive(serde::Serialize)]
+struct CellTransition {
+    /// Flat cell index in the ensemble matrix.
+    cell: usize,
+    /// Cell's neighbour count k.
+    k: usize,
+    /// Cell's item-query length d.
+    d: usize,
+    /// Sleep counter ς after the transition.
+    counter: usize,
+}
+
+/// Event payload capturing the full λ-weight vector after an update.
+#[derive(serde::Serialize)]
+struct LambdaSnapshot {
+    /// Per-cell weights (0 for sleeping cells).
+    lambda: Vec<f64>,
+    /// Number of awake cells.
+    awake: usize,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -355,12 +399,7 @@ mod tests {
     fn good_predictor_gains_weight() {
         let mut m = matrix_2x2();
         // Cell 0 predicts perfectly; others are far off.
-        let preds = vec![
-            Some((1.0, 0.1)),
-            Some((5.0, 0.1)),
-            Some((5.0, 0.1)),
-            Some((5.0, 0.1)),
-        ];
+        let preds = vec![Some((1.0, 0.1)), Some((5.0, 0.1)), Some((5.0, 0.1)), Some((5.0, 0.1))];
         for _ in 0..5 {
             m.update(1.0, &preds);
         }
@@ -418,12 +457,8 @@ mod tests {
     #[test]
     fn bad_cell_goes_to_sleep_and_recovers() {
         let mut m = matrix_2x2();
-        let preds = vec![
-            Some((1.0, 0.01)),
-            Some((50.0, 0.01)),
-            Some((1.0, 0.01)),
-            Some((1.0, 0.01)),
-        ];
+        let preds =
+            vec![Some((1.0, 0.01)), Some((50.0, 0.01)), Some((1.0, 0.01)), Some((1.0, 0.01))];
         // Repeated truth = 1.0 crushes cell 1's weight below η = 1/8.
         let mut slept = false;
         for _ in 0..10 {
@@ -444,12 +479,8 @@ mod tests {
     #[test]
     fn chronic_sleeper_doubles_its_span() {
         let mut m = matrix_2x2();
-        let preds = vec![
-            Some((1.0, 0.01)),
-            Some((50.0, 0.01)),
-            Some((1.0, 0.01)),
-            Some((1.0, 0.01)),
-        ];
+        let preds =
+            vec![Some((1.0, 0.01)), Some((50.0, 0.01)), Some((1.0, 0.01)), Some((1.0, 0.01))];
         // Drive cell 1 through repeated sleep cycles.
         let mut spans = Vec::new();
         let mut current_sleep = 0usize;
@@ -476,12 +507,8 @@ mod tests {
             elv: vec![16, 32],
             mode: EnsembleMode::NoSelfAdaptive,
         });
-        let preds = vec![
-            Some((1.0, 0.01)),
-            Some((99.0, 0.01)),
-            Some((99.0, 0.01)),
-            Some((99.0, 0.01)),
-        ];
+        let preds =
+            vec![Some((1.0, 0.01)), Some((99.0, 0.01)), Some((99.0, 0.01)), Some((99.0, 0.01))];
         for _ in 0..10 {
             m.update(1.0, &preds);
         }

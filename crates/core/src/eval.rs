@@ -75,11 +75,8 @@ pub fn evaluate(
 
     // recorded[h] = (means, vars, truths)
     type Recorded = (Vec<f64>, Vec<f64>, Vec<f64>);
-    let mut recorded: BTreeMap<usize, Recorded> = config
-        .horizons
-        .iter()
-        .map(|&h| (h, (Vec::new(), Vec::new(), Vec::new())))
-        .collect();
+    let mut recorded: BTreeMap<usize, Recorded> =
+        config.horizons.iter().map(|&h| (h, (Vec::new(), Vec::new(), Vec::new()))).collect();
 
     let mut predict_seconds = 0.0;
     let mut predict_calls = 0usize;
@@ -142,15 +139,14 @@ pub fn average_results(results: &[EvalResult]) -> EvalResult {
     let mut mnlpd = BTreeMap::new();
     let mut coverage95 = BTreeMap::new();
     let mut interval_width = BTreeMap::new();
-    let field =
-        |pick: &dyn Fn(&EvalResult) -> &BTreeMap<usize, f64>, h: usize| -> f64 {
-            stats::mean(
-                &results
-                    .iter()
-                    .map(|r| *pick(r).get(&h).expect("consistent horizons"))
-                    .collect::<Vec<_>>(),
-            )
-        };
+    let field = |pick: &dyn Fn(&EvalResult) -> &BTreeMap<usize, f64>, h: usize| -> f64 {
+        stats::mean(
+            &results
+                .iter()
+                .map(|r| *pick(r).get(&h).expect("consistent horizons"))
+                .collect::<Vec<_>>(),
+        )
+    };
     for &h in &horizons {
         mae.insert(h, field(&|r| &r.mae, h));
         mnlpd.insert(h, field(&|r| &r.mnlpd, h));

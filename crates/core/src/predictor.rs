@@ -102,6 +102,7 @@ impl GpCellPredictor {
     /// (Eqns 14–17). The first call trains hyperparameters from a cold
     /// start; subsequent calls warm-start with a fixed CG budget.
     pub fn predict(&mut self, data: &KnnData) -> Option<(f64, f64)> {
+        let _span = smiler_obs::span("gp.predict");
         if data.is_empty() {
             return None;
         }
@@ -119,6 +120,7 @@ impl GpCellPredictor {
         let centred: Vec<f64> = data.y.iter().map(|y| y - y_mean).collect();
         let hyper = match self.hyper {
             None => {
+                smiler_obs::count("gp.warm_start", "cold", 1);
                 let h = train_full(&data.x, &centred, &self.train_config);
                 self.hyper = Some(h);
                 self.steps_since_train = 0;
@@ -127,11 +129,13 @@ impl GpCellPredictor {
             Some(prev) => {
                 self.steps_since_train += 1;
                 if self.steps_since_train >= self.retrain_every {
+                    smiler_obs::count("gp.warm_start", "online", 1);
                     let h = train_online(&data.x, &centred, prev, &self.train_config);
                     self.hyper = Some(h);
                     self.steps_since_train = 0;
                     h
                 } else {
+                    smiler_obs::count("gp.warm_start", "hit", 1);
                     prev
                 }
             }
@@ -235,7 +239,7 @@ mod tests {
         cell.predict(&data).unwrap(); // step 2, no retrain
         assert_eq!(cell.hyper().unwrap(), h1);
         cell.predict(&data).unwrap(); // step 3 → retrain fires
-        // (value may or may not move; the counter must have reset)
+                                      // (value may or may not move; the counter must have reset)
         assert_eq!(cell.steps_since_train, 0);
     }
 }

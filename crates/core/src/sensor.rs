@@ -127,9 +127,16 @@ impl SensorPredictor {
         kind: PredictorKind,
     ) -> Self {
         let params = config.index_params();
-        let index = SmilerIndex::build(&device, history, params)
-            .with_threshold(config.threshold);
-        SensorPredictor { device, sensor_id, config, kind, index, cache: None, horizons: HashMap::new() }
+        let index = SmilerIndex::build(&device, history, params).with_threshold(config.threshold);
+        SensorPredictor {
+            device,
+            sensor_id,
+            config,
+            kind,
+            index,
+            cache: None,
+            horizons: HashMap::new(),
+        }
     }
 
     /// Sensor identifier.
@@ -341,6 +348,7 @@ impl SensorPredictor {
             if let Some((t, _)) = state.pending.front() {
                 if *t == arriving {
                     let (_, preds) = state.pending.pop_front().expect("front exists");
+                    let _span = smiler_obs::span("ensemble.update");
                     state.ensemble.update(value, &preds);
                 }
             }
@@ -461,7 +469,8 @@ mod tests {
     fn make(kind: PredictorKind) -> (SensorPredictor, Vec<f64>) {
         let device = Arc::new(Device::default_gpu());
         let history = periodic_history(400);
-        let p = SensorPredictor::new(device, 7, history.clone(), SmilerConfig::small_for_tests(), kind);
+        let p =
+            SensorPredictor::new(device, 7, history.clone(), SmilerConfig::small_for_tests(), kind);
         (p, history)
     }
 

@@ -67,11 +67,7 @@ impl SensorPredictor {
         let mut horizons: Vec<HorizonSnapshot> = self
             .horizon_snapshots()
             .into_iter()
-            .map(|(horizon, ensemble, gp_hypers)| HorizonSnapshot {
-                horizon,
-                ensemble,
-                gp_hypers,
-            })
+            .map(|(horizon, ensemble, gp_hypers)| HorizonSnapshot { horizon, ensemble, gp_hypers })
             .collect();
         horizons.sort_by_key(|h| h.horizon);
         SensorSnapshot {
@@ -99,8 +95,7 @@ impl SensorPredictor {
         );
         let mut states = HashMap::new();
         for h in snapshot.horizons {
-            let ensemble =
-                EnsembleMatrix::restore(snapshot.config.ensemble.clone(), h.ensemble);
+            let ensemble = EnsembleMatrix::restore(snapshot.config.ensemble.clone(), h.ensemble);
             states.insert(h.horizon, (ensemble, h.gp_hypers));
         }
         predictor.install_horizon_snapshots(states);
@@ -119,8 +114,7 @@ mod tests {
                 state ^= state << 13;
                 state ^= state >> 7;
                 state ^= state << 17;
-                (i as f64 * std::f64::consts::TAU / 24.0).sin()
-                    + (state % 100) as f64 / 200.0
+                (i as f64 * std::f64::consts::TAU / 24.0).sin() + (state % 100) as f64 / 200.0
             })
             .collect()
     }

@@ -174,9 +174,7 @@ mod tests {
 
     fn raw_history(n: usize) -> Vec<f64> {
         // A ~400-unit seasonal raw signal (e.g. car-park lots).
-        (0..n)
-            .map(|i| 400.0 + 150.0 * (i as f64 * std::f64::consts::TAU / 24.0).sin())
-            .collect()
+        (0..n).map(|i| 400.0 + 150.0 * (i as f64 * std::f64::consts::TAU / 24.0).sin()).collect()
     }
 
     fn stream() -> SensorStream {
@@ -233,8 +231,10 @@ mod tests {
             s.ingest(4010, 401.0),
             Err(StreamError::StaleTimestamp { got: 4010, newest: 4010 })
         );
-        assert_eq!(s.ingest(3990, 401.0).unwrap_err(),
-            StreamError::StaleTimestamp { got: 3990, newest: 4010 });
+        assert_eq!(
+            s.ingest(3990, 401.0).unwrap_err(),
+            StreamError::StaleTimestamp { got: 3990, newest: 4010 }
+        );
         assert_eq!(s.ingest(4020, f64::NAN), Err(StreamError::NotFinite));
         // Errors must not corrupt the clock.
         assert_eq!(s.newest_timestamp(), 4010);

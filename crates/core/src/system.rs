@@ -14,7 +14,7 @@ use smiler_index::{fleet_search, SmilerIndex};
 use std::sync::Arc;
 
 /// Error returned when a sensor's index does not fit in device memory.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
 pub struct OutOfDeviceMemory {
     /// Sensor that failed to fit.
     pub sensor_id: usize,
@@ -63,13 +63,20 @@ impl SmilerSystem {
             if device.try_reserve_memory(needed) {
                 sensors.push(predictor);
             } else {
-                rejection = Some(OutOfDeviceMemory {
+                let oom = OutOfDeviceMemory {
                     sensor_id: id,
                     needed,
                     available: device.memory_capacity() - device.memory_used(),
-                });
+                };
+                if smiler_obs::enabled() {
+                    smiler_obs::event("admission.oom", &format!("sensor={id}"), &oom);
+                }
+                rejection = Some(oom);
                 break;
             }
+        }
+        if smiler_obs::enabled() {
+            smiler_obs::gauge_set("sensors.resident", "", sensors.len() as f64);
         }
         (SmilerSystem { device, sensors }, rejection)
     }
@@ -105,8 +112,7 @@ impl SmilerSystem {
     /// sensor. Results are identical to [`SmilerSystem::predict_all`]; the
     /// device does the same work in ~16× fewer launches.
     pub fn predict_all_batched(&mut self, h: usize) -> Vec<(f64, f64)> {
-        let max_ends: Vec<usize> =
-            self.sensors.iter().map(|s| s.search_max_end()).collect();
+        let max_ends: Vec<usize> = self.sensors.iter().map(|s| s.search_max_end()).collect();
         {
             let mut refs: Vec<&mut SmilerIndex> =
                 self.sensors.iter_mut().map(|s| s.index_mut()).collect();
@@ -141,10 +147,54 @@ impl SmilerSystem {
                     })
                 })
                 .collect();
-            results = handles.into_iter().map(|j| j.join().expect("sensor predictor panicked")).collect();
+            results =
+                handles.into_iter().map(|j| j.join().expect("sensor predictor panicked")).collect();
         })
         .expect("prediction worker panicked");
         results.into_iter().flatten().collect()
+    }
+
+    /// One full continuous-prediction step for the whole fleet: predict
+    /// horizon `h` for every resident sensor, then absorb the realised
+    /// `observations` (same order as construction). Returns the fused
+    /// `(mean, variance)` forecasts made *before* the observations were
+    /// seen.
+    ///
+    /// With observability on, the step runs under a `step` span, records a
+    /// per-sensor latency histogram (`step.sensor_seconds`), and updates
+    /// the `sensors.resident` / `cells.active` / `cells.sleeping` gauges.
+    ///
+    /// # Panics
+    /// Panics if the observation count differs from the sensor count.
+    pub fn step(&mut self, h: usize, observations: &[f64]) -> Vec<(f64, f64)> {
+        assert_eq!(observations.len(), self.sensors.len(), "one observation per sensor");
+        let _span = smiler_obs::span("step");
+        let obs_on = smiler_obs::enabled();
+        let mut predictions = Vec::with_capacity(self.sensors.len());
+        // Sensors are independent, so interleaving predict/observe per
+        // sensor is equivalent to predict_all followed by observe_all.
+        for (s, &v) in self.sensors.iter_mut().zip(observations) {
+            let started = if obs_on { Some(std::time::Instant::now()) } else { None };
+            predictions.push(s.predict(h));
+            s.observe(v);
+            if let Some(started) = started {
+                smiler_obs::observe("step.sensor_seconds", "", started.elapsed().as_secs_f64());
+            }
+        }
+        if obs_on {
+            smiler_obs::gauge_set("sensors.resident", "", self.sensors.len() as f64);
+            let (mut active, mut sleeping) = (0usize, 0usize);
+            for s in &self.sensors {
+                if let Some(weights) = s.weights(h) {
+                    // λ is zero exactly for sleeping cells.
+                    active += weights.iter().filter(|w| **w > 0.0).count();
+                    sleeping += weights.iter().filter(|w| **w == 0.0).count();
+                }
+            }
+            smiler_obs::gauge_set("cells.active", "", active as f64);
+            smiler_obs::gauge_set("cells.sleeping", "", sleeping as f64);
+        }
+        predictions
     }
 
     /// Feed one new observation per sensor (same order as construction).
@@ -181,9 +231,7 @@ mod tests {
     fn histories(count: usize, n: usize) -> Vec<Vec<f64>> {
         (0..count)
             .map(|s| {
-                (0..n)
-                    .map(|i| ((i + s * 13) as f64 * std::f64::consts::TAU / 24.0).sin())
-                    .collect()
+                (0..n).map(|i| ((i + s * 13) as f64 * std::f64::consts::TAU / 24.0).sin()).collect()
             })
             .collect()
     }

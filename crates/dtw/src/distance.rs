@@ -23,6 +23,7 @@ fn check_inputs(q: &[f64], c: &[f64]) -> usize {
 /// # Panics
 /// Panics if the sequences differ in length or are empty.
 pub fn dtw_banded(q: &[f64], c: &[f64], rho: usize) -> f64 {
+    smiler_obs::count("dtw.evals", "banded", 1);
     let d = check_inputs(q, c);
     let inf = f64::INFINITY;
     // gamma[i][j] with 1-based sequence indices; gamma[0][0] = 0 border.
@@ -48,6 +49,7 @@ pub fn dtw_banded(q: &[f64], c: &[f64], rho: usize) -> f64 {
 /// # Panics
 /// Panics if the sequences differ in length or are empty.
 pub fn dtw_compressed(q: &[f64], c: &[f64], rho: usize) -> f64 {
+    smiler_obs::count("dtw.evals", "compressed", 1);
     let d = check_inputs(q, c);
     let m = 2 * rho + 2;
     let inf = f64::INFINITY;

@@ -121,8 +121,7 @@ pub fn ard_loo_value_and_log_gradient(
     let d = x.cols();
     assert_eq!(hyper.lengthscales.len(), d, "one length-scale per dimension");
     let gram = hyper.gram(x);
-    let chol =
-        Cholesky::decompose_with_jitter(&gram, 1e-10, 1e-4 * hyper.prior_variance()).ok()?;
+    let chol = Cholesky::decompose_with_jitter(&gram, 1e-10, 1e-4 * hyper.prior_variance()).ok()?;
     let inv = chol.inverse();
     let alpha = chol.solve(y);
 
@@ -150,8 +149,7 @@ pub fn ard_loo_value_and_log_gradient(
             for b in 0..n {
                 zk_aa += zj[(a, b)] * inv[(b, a)];
             }
-            g += (alpha[a] * zj_alpha[a] - 0.5 * (1.0 + alpha[a] * alpha[a] / kaa) * zk_aa)
-                / kaa;
+            g += (alpha[a] * zj_alpha[a] - 0.5 * (1.0 + alpha[a] * alpha[a] / kaa) * zk_aa) / kaa;
         }
         g
     };
@@ -181,10 +179,7 @@ pub fn ard_loo_value_and_log_gradient(
 /// the same box constraint and weak log-normal prior as the isotropic
 /// trainer.
 pub fn train_ard(x: &Matrix, y: &[f64], iters: usize) -> ArdHyperparams {
-    let init = ArdHyperparams::isotropic(
-        x.cols(),
-        crate::kernel::Hyperparams::heuristic(x, y),
-    );
+    let init = ArdHyperparams::isotropic(x.cols(), crate::kernel::Hyperparams::heuristic(x, y));
     const LOG_PRIOR_WEIGHT: f64 = 0.01;
     let mut f = |logs: &[f64]| {
         if logs.iter().any(|s| s.abs() > 6.0) {
@@ -194,11 +189,8 @@ pub fn train_ard(x: &Matrix, y: &[f64], iters: usize) -> ArdHyperparams {
         match ard_loo_value_and_log_gradient(x, y, &hyper) {
             Some((v, g)) => {
                 let prior: f64 = logs.iter().map(|s| LOG_PRIOR_WEIGHT * s * s).sum();
-                let grad = g
-                    .iter()
-                    .zip(logs)
-                    .map(|(gi, s)| -gi + 2.0 * LOG_PRIOR_WEIGHT * s)
-                    .collect();
+                let grad =
+                    g.iter().zip(logs).map(|(gi, s)| -gi + 2.0 * LOG_PRIOR_WEIGHT * s).collect();
                 (-v + prior, grad)
             }
             None => (f64::INFINITY, vec![0.0; logs.len()]),
@@ -310,10 +302,7 @@ mod tests {
             1e-5,
         );
         for (j, (a, b)) in grad.iter().zip(&fd).enumerate() {
-            assert!(
-                (a - b).abs() < 1e-4 * (1.0 + b.abs()),
-                "param {j}: analytic {a} vs fd {b}"
-            );
+            assert!((a - b).abs() < 1e-4 * (1.0 + b.abs()), "param {j}: analytic {a} vs fd {b}");
         }
     }
 
@@ -372,9 +361,6 @@ mod tests {
     fn shape_errors() {
         let x = Matrix::from_rows(2, 2, vec![0.0, 1.0, 2.0, 3.0]);
         let h = ArdHyperparams::new(1.0, vec![1.0, 1.0], 0.1);
-        assert!(matches!(
-            ArdGpModel::fit(x, &[1.0], h),
-            Err(GpError::ShapeMismatch { .. })
-        ));
+        assert!(matches!(ArdGpModel::fit(x, &[1.0], h), Err(GpError::ShapeMismatch { .. })));
     }
 }

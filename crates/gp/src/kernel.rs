@@ -88,13 +88,17 @@ impl Hyperparams {
 /// fit and shared by the kernel and its derivatives.
 pub fn squared_distances(x: &Matrix) -> Matrix {
     let n = x.rows();
-    Matrix::from_fn(n, n, |i, j| {
-        if i == j {
-            0.0
-        } else {
-            vector::squared_distance(x.row(i), x.row(j))
-        }
-    })
+    Matrix::from_fn(
+        n,
+        n,
+        |i, j| {
+            if i == j {
+                0.0
+            } else {
+                vector::squared_distance(x.row(i), x.row(j))
+            }
+        },
+    )
 }
 
 /// Gram matrix `C(X, X)` including the noise diagonal.
@@ -113,9 +117,8 @@ pub fn gram_log_gradients(sqdist: &Matrix, hyper: &Hyperparams) -> [Matrix; 3] {
     let n = sqdist.rows();
     let l2 = hyper.theta1 * hyper.theta1;
     let d0 = Matrix::from_fn(n, n, |i, j| 2.0 * hyper.cov_from_sqdist(sqdist[(i, j)]));
-    let d1 = Matrix::from_fn(n, n, |i, j| {
-        hyper.cov_from_sqdist(sqdist[(i, j)]) * sqdist[(i, j)] / l2
-    });
+    let d1 =
+        Matrix::from_fn(n, n, |i, j| hyper.cov_from_sqdist(sqdist[(i, j)]) * sqdist[(i, j)] / l2);
     let noise2 = 2.0 * hyper.theta2 * hyper.theta2;
     let d2 = Matrix::from_fn(n, n, |i, j| if i == j { noise2 } else { 0.0 });
     [d0, d1, d2]

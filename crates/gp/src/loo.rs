@@ -34,8 +34,7 @@ const HALF_LN_2PI: f64 = 0.9189385332046727;
 pub fn loo_moments(x: &Matrix, y: &[f64], hyper: &Hyperparams) -> Option<Vec<(f64, f64)>> {
     let sq = kernel::squared_distances(x);
     let gram = kernel::gram(&sq, hyper);
-    let chol =
-        Cholesky::decompose_with_jitter(&gram, 1e-10, 1e-4 * hyper.prior_variance()).ok()?;
+    let chol = Cholesky::decompose_with_jitter(&gram, 1e-10, 1e-4 * hyper.prior_variance()).ok()?;
     let inv = chol.inverse();
     let alpha = chol.solve(y);
     Some(
@@ -73,8 +72,7 @@ pub fn loo_value_and_log_gradient(
     let n = x.rows();
     let sq = kernel::squared_distances(x);
     let gram = kernel::gram(&sq, hyper);
-    let chol =
-        Cholesky::decompose_with_jitter(&gram, 1e-10, 1e-4 * hyper.prior_variance()).ok()?;
+    let chol = Cholesky::decompose_with_jitter(&gram, 1e-10, 1e-4 * hyper.prior_variance()).ok()?;
     let inv = chol.inverse();
     let alpha = chol.solve(y);
 
@@ -98,8 +96,7 @@ pub fn loo_value_and_log_gradient(
             for b in 0..n {
                 zk_aa += zj[(a, b)] * inv[(b, a)];
             }
-            g += (alpha[a] * zj_alpha[a] - 0.5 * (1.0 + alpha[a] * alpha[a] / kaa) * zk_aa)
-                / kaa;
+            g += (alpha[a] * zj_alpha[a] - 0.5 * (1.0 + alpha[a] * alpha[a] / kaa) * zk_aa) / kaa;
         }
         grad[j] = g;
     }

@@ -180,10 +180,7 @@ mod tests {
             GpModel::fit(x, &[1.0], hyper()).unwrap_err(),
             GpError::ShapeMismatch { inputs: 2, targets: 1 }
         );
-        assert_eq!(
-            GpModel::fit(Matrix::zeros(0, 1), &[], hyper()).unwrap_err(),
-            GpError::Empty
-        );
+        assert_eq!(GpModel::fit(Matrix::zeros(0, 1), &[], hyper()).unwrap_err(), GpError::Empty);
     }
 
     #[test]

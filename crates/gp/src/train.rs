@@ -39,10 +39,7 @@ const LOG_PRIOR_WEIGHT: f64 = 0.01;
 /// plus the weak log-normal hyperprior above. A singular Gram matrix
 /// scores `+∞` so the line search backs away from degenerate regions
 /// instead of crashing.
-fn objective<'a>(
-    x: &'a Matrix,
-    y: &'a [f64],
-) -> impl FnMut(&[f64]) -> (f64, Vec<f64>) + 'a {
+fn objective<'a>(x: &'a Matrix, y: &'a [f64]) -> impl FnMut(&[f64]) -> (f64, Vec<f64>) + 'a {
     move |logs: &[f64]| {
         // Hard box: outside |ln θ| ≤ 6 the parameters are clamped by
         // `from_log`, making the likelihood flat there. Reject such trial
@@ -55,11 +52,8 @@ fn objective<'a>(
         match loo::loo_value_and_log_gradient(x, y, &hyper) {
             Some((value, grad)) => {
                 let prior: f64 = logs.iter().map(|s| LOG_PRIOR_WEIGHT * s * s).sum();
-                let g = grad
-                    .iter()
-                    .zip(logs)
-                    .map(|(g, s)| -g + 2.0 * LOG_PRIOR_WEIGHT * s)
-                    .collect();
+                let g =
+                    grad.iter().zip(logs).map(|(g, s)| -g + 2.0 * LOG_PRIOR_WEIGHT * s).collect();
                 (-value + prior, g)
             }
             None => (f64::INFINITY, vec![0.0; logs.len()]),
@@ -73,7 +67,7 @@ pub fn train_full(x: &Matrix, y: &[f64], config: &TrainConfig) -> Hyperparams {
     let init = Hyperparams::heuristic(x, y);
     let mut f = objective(x, y);
     let opts = CgOptions { max_iters: config.full_iters, ..Default::default() };
-    let report = minimize_cg(&mut f, &init.to_log(), &opts);
+    let report = traced_minimize("full", &mut f, &init.to_log(), &opts);
     Hyperparams::from_log(&report.x)
 }
 
@@ -87,8 +81,64 @@ pub fn train_online(
 ) -> Hyperparams {
     let mut f = objective(x, y);
     let opts = CgOptions::fixed_steps(config.online_steps);
-    let report = minimize_cg(&mut f, &previous.to_log(), &opts);
+    let report = traced_minimize("online", &mut f, &previous.to_log(), &opts);
     Hyperparams::from_log(&report.x)
+}
+
+/// Event payload describing one hyperparameter optimisation run.
+#[derive(serde::Serialize)]
+struct TrainTrace {
+    /// `"full"` or `"online"`.
+    mode: String,
+    /// CG iterations performed.
+    iterations: usize,
+    /// Objective evaluations (line-search probes included).
+    evaluations: usize,
+    /// Final negated-LOO objective value.
+    final_value: f64,
+    /// LOO log-likelihood at each finite objective evaluation, in
+    /// evaluation order — the optimisation trajectory.
+    loo_trajectory: Vec<f64>,
+}
+
+/// Run `minimize_cg` under a `gp.train` span, recording the CG iteration
+/// count and the LOO likelihood trajectory when observability is on.
+fn traced_minimize(
+    mode: &'static str,
+    f: &mut impl FnMut(&[f64]) -> (f64, Vec<f64>),
+    start: &[f64],
+    opts: &CgOptions,
+) -> smiler_linalg::optimize::CgReport {
+    let _span = smiler_obs::span("gp.train");
+    if !smiler_obs::enabled() {
+        return minimize_cg(f, start, opts);
+    }
+    let mut trajectory: Vec<f64> = Vec::new();
+    let report = {
+        let mut wrapped = |logs: &[f64]| {
+            let (value, grad) = f(logs);
+            if value.is_finite() {
+                // Store the LOO log-likelihood (objective sign flipped back).
+                trajectory.push(-value);
+            }
+            (value, grad)
+        };
+        minimize_cg(&mut wrapped, start, opts)
+    };
+    smiler_obs::count("gp.cg_iters", mode, report.iterations as u64);
+    smiler_obs::count("gp.train_runs", mode, 1);
+    smiler_obs::event(
+        "gp.train",
+        mode,
+        &TrainTrace {
+            mode: mode.to_string(),
+            iterations: report.iterations,
+            evaluations: report.evaluations,
+            final_value: report.value,
+            loo_trajectory: trajectory,
+        },
+    );
+    report
 }
 
 #[cfg(test)]

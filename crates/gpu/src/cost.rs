@@ -19,7 +19,7 @@
 //! principles rather than being hard-coded.
 
 /// Abstract per-block operation counts, self-reported by kernels.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize)]
 pub struct BlockCost {
     /// Words (f64) read from global/device memory.
     pub global_reads: u64,
@@ -50,7 +50,7 @@ impl BlockCost {
 }
 
 /// Aggregated statistics for one kernel launch.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize)]
 pub struct KernelStats {
     /// Number of blocks in the grid.
     pub blocks: u64,
@@ -184,8 +184,8 @@ impl CostModel for CpuSpec {
         // benefit on converged flops and none on divergent work.
         let compute = c.flops as f64 / (self.simd_width as f64 * 0.5) + c.divergent_ops as f64;
         // A CPU has no shared-vs-global split: everything is one hierarchy.
-        let memory = (c.global_reads + c.global_writes + c.shared_accesses) as f64
-            * self.memory_word_cycles;
+        let memory =
+            (c.global_reads + c.global_writes + c.shared_accesses) as f64 * self.memory_word_cycles;
         compute + memory
     }
 
@@ -221,10 +221,10 @@ mod tests {
         let cpu = CpuSpec::default();
         // 10k blocks of 100k flops each — an embarrassingly parallel scan.
         let blocks: Vec<BlockCost> = (0..10_000).map(|_| flop_block(100_000)).collect();
-        let gpu_t = gpu
-            .makespan_seconds(&blocks.iter().map(|b| gpu.block_cycles(b)).collect::<Vec<_>>());
-        let cpu_t = cpu
-            .makespan_seconds(&blocks.iter().map(|b| cpu.block_cycles(b)).collect::<Vec<_>>());
+        let gpu_t =
+            gpu.makespan_seconds(&blocks.iter().map(|b| gpu.block_cycles(b)).collect::<Vec<_>>());
+        let cpu_t =
+            cpu.makespan_seconds(&blocks.iter().map(|b| cpu.block_cycles(b)).collect::<Vec<_>>());
         let ratio = cpu_t / gpu_t;
         // The paper's Fig 7 shows roughly 50× between FastCPUScan and
         // FastGPUScan; the raw hardware ratio should be in that regime.
@@ -235,8 +235,7 @@ mod tests {
     fn divergence_is_expensive_on_gpu() {
         let gpu = GpuSpec::default();
         let converged = gpu.block_cycles(&flop_block(1920));
-        let divergent =
-            gpu.block_cycles(&BlockCost { divergent_ops: 1920, ..Default::default() });
+        let divergent = gpu.block_cycles(&BlockCost { divergent_ops: 1920, ..Default::default() });
         assert!(divergent > 50.0 * converged);
     }
 

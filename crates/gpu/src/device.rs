@@ -114,7 +114,7 @@ impl BlockCtx {
 
 /// Result of one kernel launch: the per-block results in grid order plus the
 /// aggregated simulated-cost statistics.
-#[derive(Debug)]
+#[derive(Debug, serde::Serialize)]
 pub struct LaunchReport<R> {
     /// Per-block kernel results, indexed by block id.
     pub results: Vec<R>,
@@ -239,8 +239,14 @@ impl Device {
         let sim_seconds = model.makespan_seconds(&block_cycles);
         let saturated_seconds = block_cycles.iter().sum::<f64>()
             / (model.parallel_units().max(1) as f64 * model.clock_hz());
-        let stats =
-            KernelStats { blocks: blocks as u64, total, sim_seconds, saturated_seconds };
+        let stats = KernelStats { blocks: blocks as u64, total, sim_seconds, saturated_seconds };
+
+        if smiler_obs::enabled() {
+            smiler_obs::count("gpu.launches", "", 1);
+            smiler_obs::count("gpu.blocks", "", blocks as u64);
+            smiler_obs::observe("gpu.sim_seconds", "", sim_seconds);
+            smiler_obs::event("gpu.launch", "", &stats);
+        }
 
         let mut clock = self.clock.lock();
         clock.sim_seconds += sim_seconds;

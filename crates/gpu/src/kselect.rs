@@ -139,9 +139,7 @@ mod tests {
 
     fn reference_select(values: &[f64], k: usize) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..values.len()).filter(|&i| values[i].is_finite()).collect();
-        idx.sort_by(|&a, &b| {
-            values[a].partial_cmp(&values[b]).unwrap().then(a.cmp(&b))
-        });
+        idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap().then(a.cmp(&b)));
         idx.truncate(k);
         idx
     }
@@ -175,7 +173,8 @@ mod tests {
 
     #[test]
     fn large_input_matches_reference() {
-        let values: Vec<f64> = (0..10_000).map(|i| ((i * 2654435761u64 as usize) % 9973) as f64).collect();
+        let values: Vec<f64> =
+            (0..10_000).map(|i| ((i * 2654435761u64 as usize) % 9973) as f64).collect();
         assert_eq!(run_select(&values, 128), reference_select(&values, 128));
     }
 

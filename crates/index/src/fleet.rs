@@ -339,10 +339,7 @@ mod tests {
             for (gn, en) in got.neighbors.iter().zip(&expect.neighbors) {
                 assert_eq!(gn.len(), en.len(), "sensor {s}");
                 for (g, e) in gn.iter().zip(en) {
-                    assert!(
-                        (g.distance - e.distance).abs() < 1e-9,
-                        "sensor {s}: {g:?} vs {e:?}"
-                    );
+                    assert!((g.distance - e.distance).abs() < 1e-9, "sensor {s}: {g:?} vs {e:?}");
                 }
             }
         }
@@ -365,10 +362,7 @@ mod tests {
                 let expect = index.search(&device, max_ends[s]);
                 for (gn, en) in fleet_out[s].neighbors.iter().zip(&expect.neighbors) {
                     for (g, e) in gn.iter().zip(en) {
-                        assert!(
-                            (g.distance - e.distance).abs() < 1e-9,
-                            "step {step} sensor {s}"
-                        );
+                        assert!((g.distance - e.distance).abs() < 1e-9, "step {step} sensor {s}");
                     }
                 }
             }

@@ -43,9 +43,7 @@ impl GroupBounds {
         match mode {
             BoundMode::Eq => self.eq[i].clone(),
             BoundMode::Ec => self.ec[i].clone(),
-            BoundMode::En => {
-                self.eq[i].iter().zip(&self.ec[i]).map(|(&a, &b)| a.max(b)).collect()
-            }
+            BoundMode::En => self.eq[i].iter().zip(&self.ec[i]).map(|(&a, &b)| a.max(b)).collect(),
         }
     }
 
@@ -70,10 +68,7 @@ pub fn compute_group_bounds(
     assert!(!lengths.is_empty(), "at least one item query");
     assert!(lengths.windows(2).all(|w| w[0] < w[1]), "lengths must be strictly ascending");
     let d_master = windex.d_master();
-    assert!(
-        *lengths.last().expect("non-empty") <= d_master,
-        "item query longer than master query"
-    );
+    assert!(*lengths.last().expect("non-empty") <= d_master, "item query longer than master query");
     let omega = windex.omega();
     let sw_count = windex.sw_count();
 

@@ -200,8 +200,7 @@ pub fn smiler_dir(
                     let cand = &series[t..t + d];
                     ctx.read_global(2 * d as u64);
                     ctx.flops(6 * d as u64);
-                    let lbeq =
-                        smiler_dtw::lb_keogh(cand, &query_env.upper, &query_env.lower);
+                    let lbeq = smiler_dtw::lb_keogh(cand, &query_env.upper, &query_env.lower);
                     let lbec = smiler_dtw::lb_keogh(
                         query,
                         &series_env.upper[t..t + d],
@@ -220,19 +219,15 @@ pub fn smiler_dir(
                 let dists = verify_candidates(device, series, query, rho, &all);
                 return select_from(device, &all, &dists, k);
             }
-            let probes = device
-                .launch(1, |ctx| kselect::select_k_smallest(ctx, &lbs, k))
-                .results
-                .remove(0);
+            let probes =
+                device.launch(1, |ctx| kselect::select_k_smallest(ctx, &lbs, k)).results.remove(0);
             let probe_dists = verify_candidates(device, series, query, rho, &probes);
             let tau = probe_dists.iter().copied().fold(f64::NEG_INFINITY, f64::max);
 
-            let survivors: Vec<usize> = (0..lbs.len())
-                .filter(|&t| lbs[t] <= tau && !probes.contains(&t))
-                .collect();
+            let survivors: Vec<usize> =
+                (0..lbs.len()).filter(|&t| lbs[t] <= tau && !probes.contains(&t)).collect();
             let dists = verify_candidates(device, series, query, rho, &survivors);
-            let mut verified: Vec<(usize, f64)> =
-                probes.into_iter().zip(probe_dists).collect();
+            let mut verified: Vec<(usize, f64)> = probes.into_iter().zip(probe_dists).collect();
             verified.extend(survivors.into_iter().zip(dists));
             let (starts, vals): (Vec<usize>, Vec<f64>) = verified.into_iter().unzip();
             select_from(device, &starts, &vals, k)

@@ -44,10 +44,7 @@ impl IndexParams {
     fn validate(&self) {
         assert!(self.omega > 0, "ω must be positive");
         assert!(!self.lengths.is_empty(), "ELV must not be empty");
-        assert!(
-            self.lengths.windows(2).all(|w| w[0] < w[1]),
-            "ELV must be strictly ascending"
-        );
+        assert!(self.lengths.windows(2).all(|w| w[0] < w[1]), "ELV must be strictly ascending");
         assert!(self.lengths[0] >= self.omega, "shortest item query must cover one window");
         assert!(self.k_max > 0, "k must be positive");
     }
@@ -88,7 +85,7 @@ pub struct Neighbor {
 }
 
 /// Instrumentation of one search, feeding Table 3 / Fig 7 / Fig 8.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, serde::Serialize)]
 pub struct SearchStats {
     /// Candidate population per item query.
     pub candidates: Vec<usize>,
@@ -235,6 +232,8 @@ impl SmilerIndex {
     /// Absorb one new observation: append to history and rotate the window
     /// level (Remark 1).
     pub fn advance(&mut self, device: &Device, value: f64) {
+        let _span = smiler_obs::span("index.advance");
+        smiler_obs::count("index.advance", "", 1);
         self.series.push(value);
         self.series_env.extend_to(&self.series);
         let d = self.params.d_master();
@@ -256,6 +255,7 @@ impl SmilerIndex {
     /// Panics if `max_end` exceeds the history length.
     pub fn search(&mut self, device: &Device, max_end: usize) -> SearchOutput {
         assert!(max_end <= self.series.len(), "max_end beyond history");
+        let _search_span = smiler_obs::span("search");
         let start_clock = device.elapsed_seconds();
         let start_saturated = device.saturated_seconds();
         let params = self.params.clone();
@@ -265,16 +265,15 @@ impl SmilerIndex {
         // Phase 1: group-level lower bounds (one pass over posting lists).
         let lb_clock = device.elapsed_seconds();
         let lb_sat = device.saturated_seconds();
-        let bounds = group::compute_group_bounds(device, &self.windex, &params.lengths, max_end);
+        let bounds = {
+            let _lb_span = smiler_obs::span("lb");
+            group::compute_group_bounds(device, &self.windex, &params.lengths, max_end)
+        };
         let lb_sim_seconds = device.elapsed_seconds() - lb_clock;
         let lb_saturated_seconds = device.saturated_seconds() - lb_sat;
 
         let mut neighbors: Vec<Vec<Neighbor>> = Vec::with_capacity(params.lengths.len());
-        let mut stats = SearchStats {
-            lb_sim_seconds,
-            lb_saturated_seconds,
-            ..Default::default()
-        };
+        let mut stats = SearchStats { lb_sim_seconds, lb_saturated_seconds, ..Default::default() };
 
         for (i, &d) in params.lengths.iter().enumerate() {
             let query = self.item_query(d).to_vec();
@@ -288,34 +287,54 @@ impl SmilerIndex {
             // Phase 2a: threshold. Already-verified candidates are cached so
             // they are not re-verified in phase 2c.
             let mut verified: Vec<(usize, f64)> = Vec::new();
-            let tau = self.pick_threshold(device, i, d, &query, &lbw, k, &mut verified);
+            let to_verify = {
+                let _filter_span = smiler_obs::span("filter");
+                let tau = self.pick_threshold(device, i, d, &query, &lbw, k, &mut verified);
 
-            // Phase 2b: filter by τ. A pure scan — kept as its own launch so
-            // filtering and verification never mix in one kernel (§4.4).
-            let filter = device.launch(1, |ctx| {
-                ctx.read_global(lbw.len() as u64);
-                ctx.flops(lbw.len() as u64);
-                let skip: Vec<usize> = verified.iter().map(|&(t, _)| t).collect();
-                (0..lbw.len())
-                    .filter(|&t| lbw[t] <= tau && !skip.contains(&t))
-                    .collect::<Vec<usize>>()
-            });
-            let to_verify = filter.results.into_iter().next().expect("one filter block");
+                // Phase 2b: filter by τ. A pure scan — kept as its own launch
+                // so filtering and verification never mix in one kernel
+                // (§4.4).
+                let filter = device.launch(1, |ctx| {
+                    ctx.read_global(lbw.len() as u64);
+                    ctx.flops(lbw.len() as u64);
+                    let skip: Vec<usize> = verified.iter().map(|&(t, _)| t).collect();
+                    (0..lbw.len())
+                        .filter(|&t| lbw[t] <= tau && !skip.contains(&t))
+                        .collect::<Vec<usize>>()
+                });
+                filter.results.into_iter().next().expect("one filter block")
+            };
 
             // Phase 2c: verification with the compressed-matrix DTW kernel.
             let verify_clock = device.elapsed_seconds();
             let verify_sat = device.saturated_seconds();
-            let distances =
-                verify_candidates(device, &self.series, &query, rho, &to_verify);
+            let distances = {
+                let _verify_span = smiler_obs::span("verify");
+                verify_candidates(device, &self.series, &query, rho, &to_verify)
+            };
             stats.verify_sim_seconds += device.elapsed_seconds() - verify_clock;
             stats.verify_saturated_seconds += device.saturated_seconds() - verify_sat;
             verified.extend(to_verify.iter().copied().zip(distances));
             stats.unfiltered.push(verified.len());
+            if smiler_obs::enabled() {
+                let label = format!("d={d}");
+                let cand = lbw.len();
+                let kept = verified.len();
+                smiler_obs::count("search.candidates", &label, cand as u64);
+                smiler_obs::count("search.verified", &label, kept as u64);
+                if cand > 0 {
+                    let pruned = cand.saturating_sub(kept) as f64;
+                    smiler_obs::observe("search.pruning_ratio", &label, pruned / cand as f64);
+                }
+            }
 
             // Phase 3: k-selection (one block per query, §4.3.3).
             let dists: Vec<f64> = verified.iter().map(|&(_, dist)| dist).collect();
-            let sel = device.launch(1, |ctx| kselect::select_k_smallest(ctx, &dists, k));
-            let picked = sel.results.into_iter().next().expect("one selection block");
+            let picked = {
+                let _select_span = smiler_obs::span("select");
+                let sel = device.launch(1, |ctx| kselect::select_k_smallest(ctx, &dists, k));
+                sel.results.into_iter().next().expect("one selection block")
+            };
             neighbors.push(
                 picked
                     .into_iter()
@@ -441,7 +460,13 @@ mod tests {
     }
 
     /// Brute-force reference kNN.
-    fn brute_force(series: &[f64], d: usize, rho: usize, k: usize, max_end: usize) -> Vec<Neighbor> {
+    fn brute_force(
+        series: &[f64],
+        d: usize,
+        rho: usize,
+        k: usize,
+        max_end: usize,
+    ) -> Vec<Neighbor> {
         let query = &series[series.len() - d..];
         let mut all: Vec<Neighbor> = (0..=max_end.saturating_sub(d))
             .map(|t| Neighbor {
@@ -449,7 +474,9 @@ mod tests {
                 distance: smiler_dtw::dtw_banded(query, &series[t..t + d], rho),
             })
             .collect();
-        all.sort_by(|a, b| a.distance.partial_cmp(&b.distance).unwrap().then(a.start.cmp(&b.start)));
+        all.sort_by(|a, b| {
+            a.distance.partial_cmp(&b.distance).unwrap().then(a.start.cmp(&b.start))
+        });
         all.truncate(k);
         all
     }
@@ -522,9 +549,7 @@ mod tests {
                 let expect = brute_force(&series, d, params.rho, params.k_max, max_end);
                 let hit = out.neighbors[i]
                     .iter()
-                    .filter(|n| {
-                        expect.iter().any(|e| (e.distance - n.distance).abs() < 1e-9)
-                    })
+                    .filter(|n| expect.iter().any(|e| (e.distance - n.distance).abs() < 1e-9))
                     .count();
                 assert!(
                     hit * 10 >= expect.len() * 8,
@@ -542,8 +567,12 @@ mod tests {
         let params = IndexParams { rho: 3, omega: 4, lengths: vec![16], k_max: 5 };
         let mut index = SmilerIndex::build(&device, series, params);
         let out = index.search(&device, 590);
-        assert!(out.stats.unfiltered[0] < out.stats.candidates[0] / 2,
-            "filter too weak: {} of {}", out.stats.unfiltered[0], out.stats.candidates[0]);
+        assert!(
+            out.stats.unfiltered[0] < out.stats.candidates[0] / 2,
+            "filter too weak: {} of {}",
+            out.stats.unfiltered[0],
+            out.stats.candidates[0]
+        );
     }
 
     #[test]
@@ -553,8 +582,8 @@ mod tests {
         let params = IndexParams { rho: 3, omega: 4, lengths: vec![16], k_max: 5 };
         let mut counts = Vec::new();
         for mode in [BoundMode::Eq, BoundMode::Ec, BoundMode::En] {
-            let mut index = SmilerIndex::build(&device, series.clone(), params.clone())
-                .with_bound_mode(mode);
+            let mut index =
+                SmilerIndex::build(&device, series.clone(), params.clone()).with_bound_mode(mode);
             let out = index.search(&device, 490);
             counts.push(out.stats.unfiltered[0]);
         }

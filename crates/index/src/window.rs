@@ -316,8 +316,7 @@ mod tests {
         let series_env = Envelope::compute(series, RHO);
         let query = series[series.len() - D..].to_vec();
         let query_env = Envelope::compute(&query, RHO);
-        let idx =
-            WindowIndex::build(device, series, &series_env, &query, &query_env, OMEGA, RHO);
+        let idx = WindowIndex::build(device, series, &series_env, &query, &query_env, OMEGA, RHO);
         (idx, series_env, query_env)
     }
 
@@ -401,7 +400,13 @@ mod tests {
         let query = series[series.len() - BIG_D..].to_vec();
         let query_env = Envelope::compute(&query, BIG_RHO);
         let mut idx = WindowIndex::build(
-            &dev_adv, &series, &series_env, &query, &query_env, BIG_OMEGA, BIG_RHO,
+            &dev_adv,
+            &series,
+            &series_env,
+            &query,
+            &query_env,
+            BIG_OMEGA,
+            BIG_RHO,
         );
         dev_adv.reset_clock();
 
@@ -413,7 +418,13 @@ mod tests {
         let adv_cost = dev_adv.elapsed_seconds();
 
         WindowIndex::build(
-            &dev_build, &series, &series_env, &query, &query_env, BIG_OMEGA, BIG_RHO,
+            &dev_build,
+            &series,
+            &series_env,
+            &query,
+            &query_env,
+            BIG_OMEGA,
+            BIG_RHO,
         );
         let build_cost = dev_build.elapsed_seconds();
         assert!(

@@ -212,13 +212,7 @@ impl Matrix {
         if (self.rows, self.cols) != (other.rows, other.cols) {
             return None;
         }
-        Some(
-            self.data
-                .iter()
-                .zip(&other.data)
-                .map(|(a, b)| (a - b).abs())
-                .fold(0.0, f64::max),
-        )
+        Some(self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max))
     }
 
     /// Remove row `r` and column `r`, returning the `(n-1) × (n-1)` minor.

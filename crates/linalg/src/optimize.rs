@@ -65,7 +65,12 @@ impl CgOptions {
     /// Options for the paper's online mode: a fixed budget of `steps` CG
     /// iterations from a warm start (§5.2.2 uses five).
     pub fn fixed_steps(steps: usize) -> Self {
-        CgOptions { max_iters: steps, gradient_tolerance: 0.0, value_tolerance: 0.0, ..Self::default() }
+        CgOptions {
+            max_iters: steps,
+            gradient_tolerance: 0.0,
+            value_tolerance: 0.0,
+            ..Self::default()
+        }
     }
 }
 
@@ -168,6 +173,8 @@ pub fn minimize_cg(f: &mut dyn Objective, x0: &[f64], opts: &CgOptions) -> CgRep
         }
     }
 
+    smiler_obs::count("cg.iterations", "", iterations as u64);
+    smiler_obs::count("cg.evaluations", "", evaluations as u64);
     CgReport { x, value: fx, iterations, evaluations, stop }
 }
 
@@ -224,10 +231,7 @@ mod tests {
         let mut f = |x: &[f64]| {
             let (a, b) = (x[0], x[1]);
             let v = (1.0 - a).powi(2) + 100.0 * (b - a * a).powi(2);
-            let g = vec![
-                -2.0 * (1.0 - a) - 400.0 * a * (b - a * a),
-                200.0 * (b - a * a),
-            ];
+            let g = vec![-2.0 * (1.0 - a) - 400.0 * a * (b - a * a), 200.0 * (b - a * a)];
             (v, g)
         };
         let report = minimize_cg(

@@ -1,0 +1,131 @@
+//! The bounded event log: discrete pipeline occurrences (sleep/wake
+//! transitions, λ-weight snapshots, GPU launch reports, admission
+//! rejections) with structured JSON payloads.
+//!
+//! Payloads are rendered to JSON at emission time so the log holds plain
+//! strings and the caller's type does not need to outlive the call. The
+//! buffer is a drop-oldest ring; the number of evicted events is reported
+//! so exports can flag truncation.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use crate::enabled;
+
+/// Capacity of the ring buffer.
+const CAPACITY: usize = 65_536;
+
+struct EventLog {
+    events: VecDeque<EventRecord>,
+    /// Monotone sequence number of the next event.
+    next_seq: u64,
+    /// Events evicted because the ring was full.
+    dropped: u64,
+    /// Time origin for `t_seconds` (set on first use and on reset).
+    epoch: Option<Instant>,
+}
+
+static LOG: Mutex<Option<EventLog>> = Mutex::new(None);
+
+/// One logged event.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct EventRecord {
+    /// Monotone sequence number (gaps indicate evicted events).
+    pub seq: u64,
+    /// Seconds since the log's epoch (first event after start/reset).
+    pub t_seconds: f64,
+    /// Event kind (`"ensemble.sleep"`, `"gpu.launch"`, ...).
+    pub kind: String,
+    /// Instance label (sensor id, cell, ...; empty when unlabelled).
+    pub label: String,
+    /// The payload, pre-rendered as a JSON document.
+    pub payload_json: String,
+}
+
+/// Emit an event of `kind` with a structured `payload`. The payload is
+/// serialised immediately; while disabled the call returns without
+/// touching it.
+pub fn event(kind: &'static str, label: &str, payload: &impl serde::Serialize) {
+    if !enabled() {
+        return;
+    }
+    let payload_json = serde_json::to_string(payload).unwrap_or_else(|_| "null".to_string());
+    let mut guard = LOG.lock();
+    let log = guard.get_or_insert_with(|| EventLog {
+        events: VecDeque::new(),
+        next_seq: 0,
+        dropped: 0,
+        epoch: None,
+    });
+    let epoch = *log.epoch.get_or_insert_with(Instant::now);
+    if log.events.len() == CAPACITY {
+        log.events.pop_front();
+        log.dropped += 1;
+    }
+    let seq = log.next_seq;
+    log.next_seq += 1;
+    log.events.push_back(EventRecord {
+        seq,
+        t_seconds: epoch.elapsed().as_secs_f64(),
+        kind: kind.to_string(),
+        label: label.to_string(),
+        payload_json,
+    });
+}
+
+/// Copy out the retained events, oldest first.
+pub fn events_snapshot() -> Vec<EventRecord> {
+    LOG.lock().as_ref().map(|log| log.events.iter().cloned().collect()).unwrap_or_default()
+}
+
+/// How many events were evicted from the ring so far.
+pub fn events_dropped() -> u64 {
+    LOG.lock().as_ref().map(|log| log.dropped).unwrap_or(0)
+}
+
+pub(crate) fn reset() {
+    let mut guard = LOG.lock();
+    if let Some(log) = guard.as_mut() {
+        log.events.clear();
+        log.next_seq = 0;
+        log.dropped = 0;
+        log.epoch = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::lock_global;
+
+    #[derive(serde::Serialize)]
+    struct Payload {
+        cell: usize,
+        lambda: f64,
+    }
+
+    #[test]
+    fn events_record_kind_label_and_payload() {
+        let _g = lock_global();
+        event("ensemble.sleep", "sensor=3", &Payload { cell: 2, lambda: 0.0 });
+        let events = events_snapshot();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[0].kind, "ensemble.sleep");
+        assert_eq!(events[0].label, "sensor=3");
+        assert_eq!(events[0].payload_json, "{\"cell\":2,\"lambda\":0.0}");
+        assert!(events[0].t_seconds >= 0.0);
+    }
+
+    #[test]
+    fn sequence_numbers_are_monotone() {
+        let _g = lock_global();
+        for i in 0..5u64 {
+            event("tick", "", &i);
+        }
+        let seqs: Vec<u64> = events_snapshot().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+        assert_eq!(events_dropped(), 0);
+    }
+}

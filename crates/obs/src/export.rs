@@ -1,0 +1,301 @@
+//! Exports: JSON-lines files for machines, a summary table for humans.
+//!
+//! Two documents cover the two consumption patterns:
+//! - **metrics** (`write_metrics_jsonl`): one row per counter / gauge /
+//!   histogram / span aggregate — the end-of-run statistical picture.
+//! - **trace** (`write_trace_jsonl`): the event log in emission order,
+//!   followed by the span aggregates so a trace file alone carries the
+//!   phase breakdown.
+//!
+//! Every row is a single-line JSON object with a `"type"` discriminator:
+//! `counter`, `gauge`, `histogram`, `span`, `event`, or `truncation`.
+
+use serde::{Content, Serialize};
+
+use crate::event::{events_dropped, events_snapshot};
+use crate::registry::metrics_snapshot;
+use crate::span::span_snapshot;
+
+fn row(kind: &str, fields: Vec<(&str, Content)>) -> String {
+    let mut entries = vec![("type".to_string(), Content::Str(kind.to_string()))];
+    entries.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+    serde_json::to_string(&ContentDoc(Content::Map(entries)))
+        .expect("row serialisation is infallible")
+}
+
+/// Wrapper so a pre-built [`Content`] tree can go through `serde_json`.
+struct ContentDoc(Content);
+
+impl Serialize for ContentDoc {
+    fn to_content(&self) -> Content {
+        self.0.clone()
+    }
+}
+
+fn str_field(name: &str, value: &str) -> (&'static str, Content) {
+    // Matches the fixed field names used below; `name` is only consulted
+    // for selection to keep call sites terse.
+    let key: &'static str = match name {
+        "name" => "name",
+        "label" => "label",
+        "path" => "path",
+        _ => unreachable!("unknown string field"),
+    };
+    (key, Content::Str(value.to_string()))
+}
+
+/// All metric and span rows, one JSON object per line.
+pub fn metrics_jsonl_string() -> String {
+    let snap = metrics_snapshot();
+    let mut lines = Vec::new();
+    for c in &snap.counters {
+        lines.push(row(
+            "counter",
+            vec![
+                str_field("name", &c.name),
+                str_field("label", &c.label),
+                ("value", Content::U64(c.value)),
+            ],
+        ));
+    }
+    for g in &snap.gauges {
+        lines.push(row(
+            "gauge",
+            vec![
+                str_field("name", &g.name),
+                str_field("label", &g.label),
+                ("value", Content::F64(g.value)),
+            ],
+        ));
+    }
+    for h in &snap.histograms {
+        lines.push(row(
+            "histogram",
+            vec![
+                str_field("name", &h.name),
+                str_field("label", &h.label),
+                ("count", Content::U64(h.count)),
+                ("sum", Content::F64(h.sum)),
+                ("min", Content::F64(h.min)),
+                ("max", Content::F64(h.max)),
+                ("p50", Content::F64(h.p50)),
+                ("p95", Content::F64(h.p95)),
+                ("p99", Content::F64(h.p99)),
+            ],
+        ));
+    }
+    lines.extend(span_lines());
+    lines.join("\n") + "\n"
+}
+
+fn span_lines() -> Vec<String> {
+    span_snapshot()
+        .iter()
+        .map(|s| {
+            row(
+                "span",
+                vec![
+                    str_field("path", &s.path),
+                    ("count", Content::U64(s.count)),
+                    ("total_seconds", Content::F64(s.total_seconds)),
+                    ("mean_seconds", Content::F64(s.mean_seconds())),
+                ],
+            )
+        })
+        .collect()
+}
+
+/// The event log plus span aggregates, one JSON object per line.
+pub fn trace_jsonl_string() -> String {
+    let mut lines = Vec::new();
+    let dropped = events_dropped();
+    if dropped > 0 {
+        lines.push(row("truncation", vec![("dropped_events", Content::U64(dropped))]));
+    }
+    for e in events_snapshot() {
+        // The payload is already JSON; splice it in verbatim rather than
+        // re-parsing it into a tree.
+        let kind = serde_json::to_string(&e.kind).expect("string serialises");
+        let label = serde_json::to_string(&e.label).expect("string serialises");
+        lines.push(format!(
+            "{{\"type\":\"event\",\"seq\":{},\"t_seconds\":{:?},\"kind\":{},\"label\":{},\"payload\":{}}}",
+            e.seq, e.t_seconds, kind, label, e.payload_json
+        ));
+    }
+    lines.extend(span_lines());
+    lines.join("\n") + "\n"
+}
+
+/// Write the metrics document to `path`.
+pub fn write_metrics_jsonl(path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, metrics_jsonl_string())
+}
+
+/// Write the trace document to `path`.
+pub fn write_trace_jsonl(path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, trace_jsonl_string())
+}
+
+fn fmt_seconds(s: f64) -> String {
+    if !s.is_finite() {
+        "-".to_string()
+    } else if s < 1e-6 {
+        format!("{:.1}ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.1}µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{s:.3}s")
+    }
+}
+
+/// A human-readable end-of-run summary of spans, counters, gauges, and
+/// histogram percentiles. Empty sections are omitted; returns an empty
+/// string when nothing was recorded.
+pub fn summary_table() -> String {
+    let snap = metrics_snapshot();
+    let spans = span_snapshot();
+    let mut out = String::new();
+
+    if !spans.is_empty() {
+        out.push_str("spans:\n");
+        out.push_str(&format!("  {:<40} {:>8} {:>12} {:>12}\n", "path", "count", "total", "mean"));
+        for s in &spans {
+            out.push_str(&format!(
+                "  {:<40} {:>8} {:>12} {:>12}\n",
+                s.path,
+                s.count,
+                fmt_seconds(s.total_seconds),
+                fmt_seconds(s.mean_seconds()),
+            ));
+        }
+    }
+    if !snap.counters.is_empty() {
+        out.push_str("counters:\n");
+        for c in &snap.counters {
+            out.push_str(&format!("  {:<40} {:>12}\n", metric_key(&c.name, &c.label), c.value));
+        }
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for g in &snap.gauges {
+            out.push_str(&format!("  {:<40} {:>12.4}\n", metric_key(&g.name, &g.label), g.value));
+        }
+    }
+    if !snap.histograms.is_empty() {
+        out.push_str("histograms:\n");
+        out.push_str(&format!(
+            "  {:<40} {:>8} {:>10} {:>10} {:>10}\n",
+            "name", "count", "p50", "p95", "p99"
+        ));
+        for h in &snap.histograms {
+            out.push_str(&format!(
+                "  {:<40} {:>8} {:>10.4} {:>10.4} {:>10.4}\n",
+                metric_key(&h.name, &h.label),
+                h.count,
+                h.p50,
+                h.p95,
+                h.p99,
+            ));
+        }
+    }
+    out
+}
+
+fn metric_key(name: &str, label: &str) -> String {
+    if label.is_empty() {
+        name.to_string()
+    } else {
+        format!("{name}{{{label}}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::lock_global;
+    use crate::{count, event, gauge_set, observe, span};
+
+    fn parse_lines(doc: &str) -> Vec<serde::Content> {
+        doc.lines()
+            .map(|line| {
+                serde_json::from_str::<ParsedDoc>(line)
+                    .unwrap_or_else(|e| panic!("invalid JSONL line `{line}`: {e}"))
+                    .0
+            })
+            .collect()
+    }
+
+    struct ParsedDoc(serde::Content);
+
+    impl serde::Deserialize for ParsedDoc {
+        fn from_content(c: &serde::Content) -> Result<Self, serde::DeError> {
+            Ok(ParsedDoc(c.clone()))
+        }
+    }
+
+    fn field<'a>(c: &'a serde::Content, name: &str) -> &'a serde::Content {
+        serde::content_field(c.as_map().expect("row is an object"), name)
+    }
+
+    #[test]
+    fn metrics_jsonl_round_trips() {
+        let _g = lock_global();
+        count("search.candidates", "d=64", 10);
+        gauge_set("predictors.active", "", 5.0);
+        observe("search.pruning_ratio", "d=64", 0.8);
+        {
+            let _s = span("search");
+            let _v = span("verify");
+        }
+        let doc = metrics_jsonl_string();
+        let rows = parse_lines(&doc);
+        let types: Vec<&str> = rows.iter().map(|r| field(r, "type").as_str().unwrap()).collect();
+        assert_eq!(types, vec!["counter", "gauge", "histogram", "span", "span"]);
+        assert_eq!(field(&rows[0], "value").as_u64(), Some(10));
+        assert_eq!(field(&rows[3], "path").as_str(), Some("search"));
+        assert_eq!(field(&rows[4], "path").as_str(), Some("search/verify"));
+    }
+
+    #[test]
+    fn trace_jsonl_embeds_payloads() {
+        let _g = lock_global();
+        #[derive(serde::Serialize)]
+        struct P {
+            x: usize,
+        }
+        event("gpu.launch", "kernel=filter", &P { x: 7 });
+        {
+            let _s = span("step");
+        }
+        let doc = trace_jsonl_string();
+        let rows = parse_lines(&doc);
+        assert_eq!(field(&rows[0], "type").as_str(), Some("event"));
+        assert_eq!(field(&rows[0], "kind").as_str(), Some("gpu.launch"));
+        let payload = field(&rows[0], "payload");
+        assert_eq!(field(payload, "x").as_u64(), Some(7));
+        assert_eq!(field(&rows[1], "type").as_str(), Some("span"));
+    }
+
+    #[test]
+    fn summary_table_mentions_everything() {
+        let _g = lock_global();
+        count("c", "", 1);
+        gauge_set("g", "", 2.0);
+        observe("h", "lbl", 3.0);
+        {
+            let _s = span("phase");
+        }
+        let table = summary_table();
+        for needle in ["spans:", "phase", "counters:", "c", "gauges:", "g", "h{lbl}"] {
+            assert!(table.contains(needle), "summary missing {needle}: {table}");
+        }
+    }
+
+    #[test]
+    fn empty_state_gives_empty_summary() {
+        let _g = lock_global();
+        assert_eq!(summary_table(), "");
+    }
+}

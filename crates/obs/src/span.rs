@@ -1,0 +1,170 @@
+//! Hierarchical wall-time spans.
+//!
+//! A [`SpanGuard`] measures from creation to drop. Guards created while
+//! another guard is open on the same thread nest under it: the recorded
+//! path is the `/`-joined chain of open span names, so `span("search")`
+//! followed by `span("verify")` aggregates under `"search/verify"`.
+//! Aggregation is global (path → call count + total seconds); per-call
+//! timings also feed a latency histogram per root span via the registry.
+
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::time::Instant;
+
+use crate::enabled;
+
+/// Aggregate of one span path.
+#[derive(Debug, Clone, Copy, Default)]
+struct SpanAgg {
+    count: u64,
+    total_seconds: f64,
+}
+
+static SPANS: Mutex<Option<HashMap<String, SpanAgg>>> = Mutex::new(None);
+
+thread_local! {
+    /// Names of the spans currently open on this thread, outermost first.
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard measuring one span; see [`span`].
+pub struct SpanGuard {
+    /// `None` when observability was disabled at creation.
+    active: Option<(String, Instant)>,
+}
+
+/// Open a span named `name`. The returned guard records wall time under
+/// the current thread's hierarchical span path when dropped. Near-no-op
+/// (no clock read, no allocation) while disabled.
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { active: None };
+    }
+    let path = STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        stack.push(name);
+        stack.join("/")
+    });
+    SpanGuard { active: Some((path, Instant::now())) }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some((path, start)) = self.active.take() else {
+            return;
+        };
+        let seconds = start.elapsed().as_secs_f64();
+        STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        let mut spans = SPANS.lock();
+        let agg = spans.get_or_insert_with(HashMap::new).entry(path).or_default();
+        agg.count += 1;
+        agg.total_seconds += seconds;
+    }
+}
+
+/// Aggregated timing of one span path.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct SpanRow {
+    /// Hierarchical `/`-joined path (`"search/verify"`).
+    pub path: String,
+    /// Number of completed spans at this path.
+    pub count: u64,
+    /// Total wall seconds across those spans.
+    pub total_seconds: f64,
+}
+
+impl SpanRow {
+    /// Mean seconds per span.
+    pub fn mean_seconds(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_seconds / self.count as f64
+        }
+    }
+}
+
+/// Snapshot all span aggregates, sorted by path.
+pub fn span_snapshot() -> Vec<SpanRow> {
+    let spans = SPANS.lock();
+    let mut rows: Vec<SpanRow> = spans
+        .as_ref()
+        .map(|m| {
+            m.iter()
+                .map(|(path, agg)| SpanRow {
+                    path: path.clone(),
+                    count: agg.count,
+                    total_seconds: agg.total_seconds,
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    rows.sort_by(|a, b| a.path.cmp(&b.path));
+    rows
+}
+
+pub(crate) fn reset() {
+    if let Some(m) = SPANS.lock().as_mut() {
+        m.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::lock_global;
+
+    #[test]
+    fn spans_nest_into_paths() {
+        let _g = lock_global();
+        {
+            let _outer = span("outer");
+            {
+                let _child = span("gp.train");
+            }
+            {
+                let _child = span("gp.train");
+            }
+        }
+        let rows = span_snapshot();
+        let paths: Vec<&str> = rows.iter().map(|r| r.path.as_str()).collect();
+        assert_eq!(paths, vec!["outer", "outer/gp.train"]);
+        assert_eq!(rows[0].count, 1);
+        assert_eq!(rows[1].count, 2);
+    }
+
+    #[test]
+    fn parent_time_covers_children() {
+        let _g = lock_global();
+        {
+            let _outer = span("outer");
+            for _ in 0..3 {
+                let _inner = span("inner");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        let rows = span_snapshot();
+        let outer = rows.iter().find(|r| r.path == "outer").unwrap();
+        let inner = rows.iter().find(|r| r.path == "outer/inner").unwrap();
+        assert!(outer.total_seconds >= inner.total_seconds - 1e-9);
+        assert!(inner.total_seconds >= 0.006);
+    }
+
+    #[test]
+    fn sibling_threads_do_not_nest() {
+        let _g = lock_global();
+        let _outer = span("main");
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _t = span("worker");
+            });
+        });
+        drop(_outer);
+        let rows = span_snapshot();
+        let paths: Vec<&str> = rows.iter().map(|r| r.path.as_str()).collect();
+        assert_eq!(paths, vec!["main", "worker"]);
+    }
+}

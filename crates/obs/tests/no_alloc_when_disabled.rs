@@ -1,0 +1,43 @@
+//! Proof that disabled instrumentation is allocation-free: a counting
+//! global allocator observes a burst of record calls made while the switch
+//! is off. The library itself forbids unsafe code; the `GlobalAlloc` shim
+//! lives out here in the test crate.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+#[test]
+fn disabled_record_calls_do_not_allocate() {
+    smiler_obs::set_enabled(false);
+    const ITERS: u64 = 10_000;
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..ITERS {
+        smiler_obs::count("alloc.test.counter", "label", 1);
+        smiler_obs::gauge_set("alloc.test.gauge", "label", i as f64);
+        smiler_obs::observe("alloc.test.histogram", "label", i as f64);
+        smiler_obs::event("alloc.test.event", "label", &i);
+        let _guard = smiler_obs::span("alloc.test.span");
+    }
+    let delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    // This test is the only one in its binary, so nothing else should
+    // allocate concurrently; a tiny slack absorbs libtest bookkeeping.
+    assert!(delta <= 4, "disabled instrumentation allocated {delta} times over {ITERS} iterations");
+}

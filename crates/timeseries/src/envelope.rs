@@ -24,6 +24,7 @@ pub struct Envelope {
 impl Envelope {
     /// Compute the envelope of `values` with warping width `rho`.
     pub fn compute(values: &[f64], rho: usize) -> Self {
+        smiler_obs::count("envelope.computed", "", 1);
         let n = values.len();
         let mut upper = vec![0.0; n];
         let mut lower = vec![0.0; n];
@@ -110,10 +111,7 @@ impl Envelope {
     /// Check the defining envelope invariant `L_i ≤ c_i ≤ U_i`.
     pub fn contains_series(&self, values: &[f64]) -> bool {
         values.len() == self.len()
-            && values
-                .iter()
-                .enumerate()
-                .all(|(i, &v)| self.lower[i] <= v && v <= self.upper[i])
+            && values.iter().enumerate().all(|(i, &v)| self.lower[i] <= v && v <= self.upper[i])
     }
 }
 

@@ -91,9 +91,8 @@ pub fn read_series(reader: impl Read, column: Option<&str>) -> Result<Vec<f64>, 
         }
         let p = col_index.expect("set above");
         let cell = cells.get(p).copied().unwrap_or("");
-        let v: f64 = cell
-            .parse()
-            .map_err(|_| IoError::Parse { line: idx + 1, text: cell.to_string() })?;
+        let v: f64 =
+            cell.parse().map_err(|_| IoError::Parse { line: idx + 1, text: cell.to_string() })?;
         values.push(v);
     }
     if values.is_empty() {
@@ -129,10 +128,7 @@ mod tests {
     #[test]
     fn reads_csv_with_named_column() {
         let input = "time,occupancy,speed\n0,0.5,55\n1,0.7,42\n";
-        assert_eq!(
-            read_series(input.as_bytes(), Some("occupancy")).unwrap(),
-            vec![0.5, 0.7]
-        );
+        assert_eq!(read_series(input.as_bytes(), Some("occupancy")).unwrap(), vec![0.5, 0.7]);
         assert_eq!(read_series(input.as_bytes(), Some("speed")).unwrap(), vec![55.0, 42.0]);
     }
 

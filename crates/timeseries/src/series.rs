@@ -162,7 +162,7 @@ mod tests {
     #[test]
     fn usable_segments_counts_labelled_pairs() {
         let s = series(); // length 10
-        // d=3, h=2: last usable start is t with t+3-1+2 <= 9 → t <= 5 → 6.
+                          // d=3, h=2: last usable start is t with t+3-1+2 <= 9 → t <= 5 → 6.
         assert_eq!(s.usable_segments(3, 2), 6);
         assert_eq!(s.usable_segments(10, 0), 1);
         assert_eq!(s.usable_segments(10, 1), 0);

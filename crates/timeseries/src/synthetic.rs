@@ -164,8 +164,9 @@ fn road_sensor(id: usize, n: usize, rng: &mut impl Rng) -> TimeSeries {
         let x = day_frac(i, per_day);
         let weekday = if is_weekend(i, per_day) { 0.45 } else { 1.0 };
         let profile = base
-            + weekday * (am_amp * gaussian_bump(x, am_peak + day_shift, 0.055)
-                + pm_amp * gaussian_bump(x, pm_peak + day_shift, 0.065));
+            + weekday
+                * (am_amp * gaussian_bump(x, am_peak + day_shift, 0.055)
+                    + pm_amp * gaussian_bump(x, pm_peak + day_shift, 0.065));
         ar = phi * ar + noise_sd * srng::normal(rng);
         // Incidents: rare onset, multiplicative decay — produces the sharp
         // congestion transients that make ROAD "dynamic".
@@ -202,8 +203,8 @@ fn mall_sensor(id: usize, n: usize, rng: &mut impl Rng) -> TimeSeries {
                 0.55 * gaussian_bump(x, lunch, 0.07) + 0.65 * gaussian_bump(x, dinner, 0.08);
             (0.15 + weekend_boost * meals) * ramp_in * ramp_out
         };
-        let available = capacity * (1.0 - occupancy.clamp(0.0, 0.97))
-            + capacity * noise_sd * srng::normal(rng);
+        let available =
+            capacity * (1.0 - occupancy.clamp(0.0, 0.97)) + capacity * noise_sd * srng::normal(rng);
         values.push(available.max(0.0));
     }
     finish(id, values)
@@ -285,8 +286,8 @@ mod tests {
     #[test]
     fn road_has_daily_structure() {
         // Autocorrelation at a 1-day lag should be clearly positive.
-        let ds = SyntheticSpec { kind: DatasetKind::Road, sensors: 1, days: 20, seed: 3 }
-            .generate();
+        let ds =
+            SyntheticSpec { kind: DatasetKind::Road, sensors: 1, days: 20, seed: 3 }.generate();
         let v = ds.sensors[0].values();
         let lag = DatasetKind::Road.samples_per_day();
         let n = v.len() - lag;

@@ -58,10 +58,8 @@ fn main() {
         predictor.observe(value);
     }
 
-    let hits = incidents
-        .iter()
-        .filter(|&&at| flagged.iter().any(|&f| f >= at && f < at + 4))
-        .count();
+    let hits =
+        incidents.iter().filter(|&&at| flagged.iter().any(|&f| f >= at && f < at + 4)).count();
     println!(
         "\ninjected incidents: {:?}\nflagged steps:      {flagged:?}\ndetected {hits}/{} incidents at z > {Z_THRESHOLD}",
         incidents,

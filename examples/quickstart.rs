@@ -56,7 +56,11 @@ fn main() {
         abs_err += (mean - value).abs();
         predictor.observe(value);
     }
-    println!("\n1-step MAE over {} continuous steps: {:.3}", future.len(), abs_err / future.len() as f64);
+    println!(
+        "\n1-step MAE over {} continuous steps: {:.3}",
+        future.len(),
+        abs_err / future.len() as f64
+    );
     println!(
         "ensemble weights (h=1): {:?}",
         predictor

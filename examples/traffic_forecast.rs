@@ -22,14 +22,11 @@ const STEPS: usize = 36; // 6 hours of 10-minute steps
 const HORIZON: usize = 6; // one hour ahead
 
 fn main() {
-    let dataset = SyntheticSpec { kind: DatasetKind::Road, sensors: SENSORS, days: 21, seed: 7 }
-        .generate();
+    let dataset =
+        SyntheticSpec { kind: DatasetKind::Road, sensors: SENSORS, days: 21, seed: 7 }.generate();
     // Hold out the evaluation window from every sensor.
-    let histories: Vec<Vec<f64>> = dataset
-        .sensors
-        .iter()
-        .map(|s| s.values()[..s.len() - STEPS - HORIZON].to_vec())
-        .collect();
+    let histories: Vec<Vec<f64>> =
+        dataset.sensors.iter().map(|s| s.values()[..s.len() - STEPS - HORIZON].to_vec()).collect();
 
     let device = Arc::new(Device::default_gpu());
     let (mut system, rejected) = SmilerSystem::new(
@@ -85,8 +82,5 @@ fn main() {
     let s: f64 = smiler_err.iter().sum::<f64>() / (SENSORS * STEPS) as f64;
     let l: f64 = lazy_err.iter().sum::<f64>() / (SENSORS * STEPS) as f64;
     println!("\noverall: SMiLer-GP {s:.3} vs LazyKNN {l:.3}");
-    println!(
-        "simulated GPU time for all search steps: {:.1} ms",
-        device.elapsed_seconds() * 1e3
-    );
+    println!("simulated GPU time for all search steps: {:.1} ms", device.elapsed_seconds() * 1e3);
 }

@@ -32,13 +32,13 @@ fn roster() -> Vec<(&'static str, Box<dyn SeriesPredictor>)> {
     };
     let smiler_cfg = SmilerConfig { h_max: 6, ..Default::default() };
     vec![
-        ("SMiLer-GP", Box::new(SmilerForecaster::gp(Arc::clone(&device), smiler_cfg.clone()))
-            as Box<dyn SeriesPredictor>),
-        ("SMiLer-AR", Box::new(SmilerForecaster::ar(device, smiler_cfg))),
         (
-            "PSGP",
-            Box::new(sparse_gp::psgp(sg.clone())),
+            "SMiLer-GP",
+            Box::new(SmilerForecaster::gp(Arc::clone(&device), smiler_cfg.clone()))
+                as Box<dyn SeriesPredictor>,
         ),
+        ("SMiLer-AR", Box::new(SmilerForecaster::ar(device, smiler_cfg))),
+        ("PSGP", Box::new(sparse_gp::psgp(sg.clone()))),
         (
             "VLGP",
             Box::new(sparse_gp::vlgp(SparseGpConfig {
@@ -60,7 +60,10 @@ fn roster() -> Vec<(&'static str, Box<dyn SeriesPredictor>)> {
         ("SgdRR", Box::new(linear::sgd_rr(lin.clone()))),
         ("OnlineSVR", Box::new(linear::online_svr(lin.clone()))),
         ("OnlineRR", Box::new(linear::online_rr(lin))),
-        ("LazyKNN", Box::new(LazyKnn::new(LazyKnnConfig { window: 12, k: 4, rho: 3, bootstrap: None }))),
+        (
+            "LazyKNN",
+            Box::new(LazyKnn::new(LazyKnnConfig { window: 12, k: 4, rho: 3, bootstrap: None })),
+        ),
         ("FullHW", Box::new(HoltWinters::full(144))),
         ("SegHW", Box::new(HoltWinters::segment(144))),
     ]
@@ -137,9 +140,6 @@ fn models_handle_constant_series() {
         }
         // Any sensible model predicts (close to) the constant.
         let (mean, _) = model.predict(1);
-        assert!(
-            (mean - 1.0).abs() < 1.0,
-            "{name} predicted {mean} on a constant-1 series"
-        );
+        assert!((mean - 1.0).abs() < 1.0, "{name} predicted {mean} on a constant-1 series");
     }
 }

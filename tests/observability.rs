@@ -1,0 +1,141 @@
+//! Invariants of the observability instrumentation: the metrics recorded
+//! by the search pipeline must agree with the pipeline's own statistics,
+//! and the hierarchical span aggregates must be self-consistent.
+//!
+//! Observability state is process-global, so every test takes the shared
+//! lock, resets, and enables recording before driving the pipeline.
+
+use smiler_core::{PredictorKind, SmilerSystem};
+use smiler_gpu::Device;
+use smiler_index::{IndexParams, SmilerIndex};
+use smiler_timeseries::synthetic::{DatasetKind, SyntheticSpec};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+fn lock_obs() -> MutexGuard<'static, ()> {
+    static GUARD: Mutex<()> = Mutex::new(());
+    let g = GUARD.lock().unwrap_or_else(|p| p.into_inner());
+    smiler_obs::reset();
+    smiler_obs::set_enabled(true);
+    g
+}
+
+fn road_sensor(days: usize, seed: u64) -> Vec<f64> {
+    SyntheticSpec { kind: DatasetKind::Road, sensors: 1, days, seed }
+        .generate()
+        .sensors
+        .remove(0)
+        .values()
+        .to_vec()
+}
+
+fn counter(snap: &smiler_obs::MetricsSnapshot, name: &str, label: &str) -> Option<u64> {
+    snap.counters.iter().find(|c| c.name == name && c.label == label).map(|c| c.value)
+}
+
+/// The verified population can never exceed the candidate population, the
+/// recorded counters must match the pipeline's own `SearchStats`, and
+/// every recorded pruning ratio must be a valid fraction.
+#[test]
+fn search_metrics_agree_with_search_stats() {
+    let _g = lock_obs();
+    let series = road_sensor(10, 3);
+    let device = Device::default_gpu();
+    let params = IndexParams::default();
+    let mut index = SmilerIndex::build(&device, series.clone(), params.clone());
+    let out = index.search(&device, series.len() - 30);
+
+    assert_eq!(out.stats.candidates.len(), out.stats.unfiltered.len());
+    for (i, (&cand, &unf)) in out.stats.candidates.iter().zip(&out.stats.unfiltered).enumerate() {
+        assert!(unf <= cand, "item {i}: verified {unf} of {cand} candidates");
+    }
+
+    let snap = smiler_obs::metrics_snapshot();
+    for (i, &d) in params.lengths.iter().enumerate() {
+        let label = format!("d={d}");
+        assert_eq!(
+            counter(&snap, "search.candidates", &label),
+            Some(out.stats.candidates[i] as u64),
+            "candidate counter for {label}"
+        );
+        assert_eq!(
+            counter(&snap, "search.verified", &label),
+            Some(out.stats.unfiltered[i] as u64),
+            "verified counter for {label}"
+        );
+    }
+    for h in snap.histograms.iter().filter(|h| h.name == "search.pruning_ratio") {
+        assert!(h.count > 0);
+        assert!((0.0..=1.0).contains(&h.min), "{}: min {}", h.label, h.min);
+        assert!((0.0..=1.0).contains(&h.max), "{}: max {}", h.label, h.max);
+    }
+}
+
+/// A parent span's total wall time must cover the sum of its direct
+/// children (both are measured by the same clock, so the slack is pure
+/// bookkeeping outside the children).
+#[test]
+fn span_totals_cover_their_children() {
+    let _g = lock_obs();
+    let series = road_sensor(10, 4);
+    let device = Arc::new(Device::default_gpu());
+    let histories = vec![series.clone(), road_sensor(10, 5)];
+    let config = smiler_core::sensor::SmilerConfig { h_max: 3, ..Default::default() };
+    let (mut system, rejected) =
+        SmilerSystem::new(device, histories, config, PredictorKind::GaussianProcess);
+    assert!(rejected.is_none());
+    for step in 0..3 {
+        let obs = vec![0.1 * step as f64; 2];
+        let preds = system.step(1, &obs);
+        assert_eq!(preds.len(), 2);
+    }
+
+    let spans = smiler_obs::span_snapshot();
+    assert!(!spans.is_empty());
+    for parent in &spans {
+        let prefix = format!("{}/", parent.path);
+        let child_sum: f64 = spans
+            .iter()
+            .filter(|s| s.path.starts_with(&prefix) && !s.path[prefix.len()..].contains('/'))
+            .map(|s| s.total_seconds)
+            .sum();
+        // Timer granularity leaves each child's measurement a hair over or
+        // under; tolerate a relative + absolute float slack.
+        assert!(
+            parent.total_seconds >= child_sum * (1.0 - 1e-6) - 1e-6,
+            "span {} total {}s < children sum {}s",
+            parent.path,
+            parent.total_seconds,
+            child_sum
+        );
+    }
+    // The continuous step must have produced the full phase breakdown.
+    let paths: Vec<&str> = spans.iter().map(|s| s.path.as_str()).collect();
+    for phase in [
+        "step",
+        "step/search",
+        "step/search/filter",
+        "step/search/verify",
+        "step/search/select",
+        "step/gp.predict",
+        "step/gp.predict/gp.train",
+        "step/ensemble.update",
+    ] {
+        assert!(paths.contains(&phase), "missing span {phase}; have {paths:?}");
+    }
+}
+
+/// With the switch off, driving the pipeline must leave no trace at all.
+#[test]
+fn disabled_pipeline_records_nothing() {
+    let _g = lock_obs();
+    smiler_obs::set_enabled(false);
+    let series = road_sensor(8, 6);
+    let device = Device::default_gpu();
+    let mut index = SmilerIndex::build(&device, series.clone(), IndexParams::default());
+    let _ = index.search(&device, series.len() - 30);
+    smiler_obs::set_enabled(true);
+    let snap = smiler_obs::metrics_snapshot();
+    assert!(snap.counters.is_empty() && snap.histograms.is_empty());
+    assert!(smiler_obs::span_snapshot().is_empty());
+    assert!(smiler_obs::events_snapshot().is_empty());
+}

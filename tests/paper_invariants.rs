@@ -127,15 +127,11 @@ fn lben_dominates_single_direction_bounds() {
         let query_env = Envelope::compute(query, rho);
         let windex =
             WindowIndex::build(&device, &series, &series_env, query, &query_env, omega, rho);
-        let bounds =
-            compute_group_bounds(&device, &windex, &lengths, series.len() - 10);
+        let bounds = compute_group_bounds(&device, &windex, &lengths, series.len() - 10);
         for (i, _) in lengths.iter().enumerate() {
             // Shared τ: the median of the LBen values.
-            let en: Vec<f64> = bounds.eq[i]
-                .iter()
-                .zip(&bounds.ec[i])
-                .map(|(&a, &b)| a.max(b))
-                .collect();
+            let en: Vec<f64> =
+                bounds.eq[i].iter().zip(&bounds.ec[i]).map(|(&a, &b)| a.max(b)).collect();
             let mut sorted = en.clone();
             sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
             let tau = sorted[sorted.len() / 2];

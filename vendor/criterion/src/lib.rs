@@ -1,0 +1,279 @@
+#![allow(clippy::all)]
+//! Offline shim for the subset of `criterion` this workspace uses.
+//!
+//! Timing model: per benchmark, warm up briefly, size an iteration batch to
+//! a fixed sample duration, take several samples, and report the best
+//! (least-noise) ns/iter. No statistical analysis, plots, or baselines —
+//! just stable comparable numbers on stdout.
+//!
+//! Like the real crate, running the bench executable *without* `--bench`
+//! (as `cargo test` does for bench targets) executes each benchmark once
+//! as a smoke test instead of timing it.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target duration of one timed sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(60);
+/// Warm-up duration before sampling.
+const WARMUP_TARGET: Duration = Duration::from_millis(40);
+/// Samples per benchmark (scaled down by `sample_size`).
+const BASE_SAMPLES: usize = 5;
+
+/// Benchmark driver handed to `criterion_group!` functions.
+pub struct Criterion {
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` appends `--bench` to the executable's arguments;
+        // `cargo test` does not.
+        Criterion { bench_mode: std::env::args().any(|a| a == "--bench") }
+    }
+}
+
+impl Criterion {
+    /// Apply command-line configuration (no-op beyond `--bench` detection).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let bench_mode = self.bench_mode;
+        BenchmarkGroup { _criterion: self, name: name.to_string(), bench_mode }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let bench_mode = self.bench_mode;
+        run_one(id, bench_mode, f);
+    }
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    bench_mode: bool,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for API compatibility; the shim's sampling is fixed-cost.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.bench_mode, |b| f(b));
+        self
+    }
+
+    /// Run a benchmark parameterised by an input value.
+    pub fn bench_with_input<P, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &P,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &P),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.bench_mode, |b| f(b, input));
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { text: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// Parameter-only identifier.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { text: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { text: s.to_string() }
+    }
+}
+
+/// Batch sizing hints for [`Bencher::iter_batched`]; the shim treats them
+/// all as per-iteration setup.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small inputs: many per batch in real criterion.
+    SmallInput,
+    /// Large inputs: few per batch.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Measures one benchmark body.
+pub struct Bencher {
+    bench_mode: bool,
+    /// Best observed ns/iter, reported by the driver.
+    best_ns: f64,
+}
+
+impl Bencher {
+    /// Time a routine.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if !self.bench_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm up and discover the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP_TARGET || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let batch = ((SAMPLE_TARGET.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        let mut best = f64::INFINITY;
+        for _ in 0..BASE_SAMPLES {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / batch as f64;
+            best = best.min(ns);
+        }
+        self.best_ns = best;
+    }
+
+    /// Time a routine with untimed per-call setup.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if !self.bench_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        // Time only the routine; rebuild the input outside the clock.
+        let mut measure = |iters: u64| -> Duration {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let t = Instant::now();
+                black_box(routine(input));
+                total += t.elapsed();
+            }
+            total
+        };
+        let warm = measure(3);
+        let per_iter = warm.as_secs_f64() / 3.0;
+        let batch = ((SAMPLE_TARGET.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1 << 20);
+        let mut best = f64::INFINITY;
+        for _ in 0..BASE_SAMPLES {
+            let ns = measure(batch).as_nanos() as f64 / batch as f64;
+            best = best.min(ns);
+        }
+        self.best_ns = best;
+    }
+}
+
+fn run_one<F: FnOnce(&mut Bencher)>(id: &str, bench_mode: bool, f: F) {
+    let mut b = Bencher { bench_mode, best_ns: f64::NAN };
+    f(&mut b);
+    if bench_mode {
+        println!("{id:<52} {}", fmt_ns(b.best_ns));
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns.is_nan() {
+        "(no measurement)".to_string()
+    } else if ns < 1_000.0 {
+        format!("{ns:10.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:10.2} µs/iter", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:10.2} ms/iter", ns / 1_000_000.0)
+    } else {
+        format!("{:10.3} s/iter", ns / 1_000_000_000.0)
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_each_body_once() {
+        let mut c = Criterion { bench_mode: false };
+        let mut group = c.benchmark_group("g");
+        let mut calls = 0usize;
+        group.bench_function("a", |b| {
+            b.iter(|| calls += 1);
+        });
+        group.bench_with_input(BenchmarkId::new("b", 3), &3usize, |b, &p| {
+            b.iter_batched(|| p, |v| calls += v, BatchSize::SmallInput);
+        });
+        group.finish();
+        assert_eq!(calls, 4); // one iter call + one batched call adding p=3
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("fit", 32).to_string(), "fit/32");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+}

@@ -1,0 +1,356 @@
+#![allow(clippy::all)]
+//! Offline shim for the subset of `serde` this workspace uses.
+//!
+//! Instead of the real crate's visitor architecture, values serialise into
+//! a concrete JSON-shaped [`Content`] tree and deserialise back out of it.
+//! `serde_json` (the sibling shim) renders and parses that tree. The
+//! public trait names and derive-macro spellings match the real crate so
+//! workspace code is written exactly as it would be against serde proper.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped data model: every serialisable value lowers to this tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Content>),
+    /// Object, as insertion-ordered key/value pairs.
+    Map(Vec<(String, Content)>),
+}
+
+/// Shared `Null` for lookups of absent fields.
+static NULL: Content = Content::Null;
+
+impl Content {
+    /// View as an object's entry list.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// View as an array.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// View as a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view, widening integers to `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::U64(v) => Some(v as f64),
+            Content::I64(v) => Some(v as f64),
+            Content::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Non-negative integer view (accepts integral floats).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Content::U64(v) => Some(v),
+            Content::I64(v) if v >= 0 => Some(v as u64),
+            Content::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
+                Some(v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Signed integer view (accepts integral floats).
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Content::U64(v) if v <= i64::MAX as u64 => Some(v as i64),
+            Content::I64(v) => Some(v),
+            Content::F64(v) if v.fract() == 0.0 && v.abs() <= i64::MAX as f64 => Some(v as i64),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Content::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+/// Look up a field in an object's entry list; absent fields read as `null`
+/// (so `Option` fields deserialise to `None` and everything else reports a
+/// type mismatch naming the null).
+pub fn content_field<'a>(map: &'a [(String, Content)], name: &str) -> &'a Content {
+    map.iter().find(|(k, _)| k == name).map(|(_, v)| v).unwrap_or(&NULL)
+}
+
+/// Deserialisation error.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Construct from any message.
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        DeError { msg: msg.to_string() }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A value that can lower itself to [`Content`].
+pub trait Serialize {
+    /// Lower to the data model.
+    fn to_content(&self) -> Content;
+}
+
+/// A value reconstructable from [`Content`].
+pub trait Deserialize: Sized {
+    /// Rebuild from the data model.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------- primitives
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_bool().ok_or_else(|| DeError::custom(format!("expected bool, got {c:?}")))
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let v = c
+                    .as_u64()
+                    .ok_or_else(|| DeError::custom(format!("expected unsigned integer, got {c:?}")))?;
+                <$t>::try_from(v)
+                    .map_err(|_| DeError::custom(format!("integer {v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 { Content::U64(v as u64) } else { Content::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let v = c
+                    .as_i64()
+                    .ok_or_else(|| DeError::custom(format!("expected integer, got {c:?}")))?;
+                <$t>::try_from(v)
+                    .map_err(|_| DeError::custom(format!("integer {v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            // Non-finite floats serialise as null (serde_json behaviour);
+            // accept the round-trip back.
+            Content::Null => Ok(f64::NAN),
+            _ => c.as_f64().ok_or_else(|| DeError::custom(format!("expected number, got {c:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        f64::from_content(c).map(|v| v as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::custom(format!("expected string, got {c:?}")))
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+// --------------------------------------------------------------- containers
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_seq()
+            .ok_or_else(|| DeError::custom(format!("expected array, got {c:?}")))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let seq = c
+                    .as_seq()
+                    .ok_or_else(|| DeError::custom(format!("expected tuple array, got {c:?}")))?;
+                let want = [$($n),+].len();
+                if seq.len() != want {
+                    return Err(DeError::custom(format!(
+                        "expected tuple of {want}, got array of {}",
+                        seq.len()
+                    )));
+                }
+                Ok(($($t::from_content(&seq[$n])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(bool::from_content(&true.to_content()).unwrap(), true);
+        assert_eq!(usize::from_content(&42usize.to_content()).unwrap(), 42);
+        assert_eq!(i64::from_content(&(-7i64).to_content()).unwrap(), -7);
+        assert_eq!(f64::from_content(&1.5f64.to_content()).unwrap(), 1.5);
+        assert_eq!(String::from_content(&"hi".to_content()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![Some((1usize, 2usize, true)), None];
+        let back: Vec<Option<(usize, usize, bool)>> =
+            Deserialize::from_content(&v.to_content()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn missing_field_reads_as_null() {
+        let map = vec![("a".to_string(), Content::U64(1))];
+        assert_eq!(content_field(&map, "a"), &Content::U64(1));
+        assert_eq!(content_field(&map, "b"), &Content::Null);
+        let opt: Option<usize> = Deserialize::from_content(content_field(&map, "b")).unwrap();
+        assert_eq!(opt, None);
+    }
+}

@@ -1,0 +1,359 @@
+#![allow(clippy::all)]
+//! Offline shim for serde's derive macros, built directly on `proc_macro`
+//! (no `syn`/`quote` available offline). It hand-parses the item token
+//! stream and emits impls of the shim's `Serialize`/`Deserialize` traits
+//! (content-tree based, see the sibling `serde` crate).
+//!
+//! Supported shapes — exactly what the workspace derives on:
+//! - structs with named fields, optionally generic over plain type params
+//! - enums with unit and newtype variants
+//!
+//! Unsupported shapes produce a `compile_error!` naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Trait {
+    Serialize,
+    Deserialize,
+}
+
+enum Body {
+    /// Named-field struct: field identifiers in declaration order.
+    Struct(Vec<String>),
+    /// Enum of unit (`false`) / newtype (`true`) variants.
+    Enum(Vec<(String, bool)>),
+}
+
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    body: Body,
+}
+
+fn expand(input: TokenStream, which: Trait) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => {
+            let code = match which {
+                Trait::Serialize => gen_serialize(&item),
+                Trait::Deserialize => gen_deserialize(&item),
+            };
+            code.parse().expect("serde_derive generated invalid Rust")
+        }
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ------------------------------------------------------------------ parsing
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde_derive: expected `struct` or `enum`".to_string()),
+    };
+    i += 1;
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde_derive: expected item name".to_string()),
+    };
+    i += 1;
+
+    let generics = parse_generics(&tokens, &mut i)?;
+
+    let body_group = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Group(_)) | Some(TokenTree::Punct(_)) if kind == "struct" => {
+                return Err(format!("serde_derive shim: struct `{name}` must use named fields"));
+            }
+            // `where` clauses would land here; the workspace doesn't use
+            // them on serialised types.
+            Some(TokenTree::Ident(id)) if id.to_string() == "where" => {
+                return Err(format!(
+                    "serde_derive shim: `where` clause on `{name}` is unsupported"
+                ));
+            }
+            Some(_) => i += 1,
+            None => return Err(format!("serde_derive: no body found for `{name}`")),
+        }
+    };
+
+    let body = if kind == "struct" {
+        Body::Struct(parse_named_fields(body_group.stream())?)
+    } else {
+        Body::Enum(parse_variants(body_group.stream(), &name)?)
+    };
+    Ok(Item { name, generics, body })
+}
+
+/// Advance past leading `#[...]` attributes and a `pub` / `pub(...)`
+/// visibility qualifier.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' then the bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse `<A, B: Bound, 'a>` into the list of *type* parameter names.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Result<Vec<String>, String> {
+    let mut params = Vec::new();
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => *i += 1,
+        _ => return Ok(params),
+    }
+    let mut depth = 1usize;
+    let mut expect_param = true;
+    while depth > 0 {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) => {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 1 => expect_param = true,
+                    '\'' => {
+                        // Lifetime: consume the tick and its identifier.
+                        *i += 1;
+                        expect_param = false;
+                    }
+                    _ => {}
+                }
+                *i += 1;
+            }
+            Some(TokenTree::Ident(id)) => {
+                if depth == 1 && expect_param {
+                    let s = id.to_string();
+                    if s == "const" {
+                        return Err("serde_derive shim: const generics are unsupported".to_string());
+                    }
+                    params.push(s);
+                    expect_param = false;
+                }
+                *i += 1;
+            }
+            Some(_) => *i += 1,
+            None => return Err("serde_derive: unterminated generics".to_string()),
+        }
+    }
+    Ok(params)
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => {
+                return Err(format!("serde_derive: expected field name, found `{other}`"))
+            }
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("serde_derive: expected `:` after field `{name}`")),
+        }
+        // Skip the type: everything up to the next comma at angle depth 0.
+        let mut angle = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: TokenStream, enum_name: &str) -> Result<Vec<(String, bool)>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => {
+                return Err(format!("serde_derive: expected variant name, found `{other}`"))
+            }
+        };
+        i += 1;
+        let newtype = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                true
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "serde_derive shim: struct variant `{enum_name}::{name}` is unsupported"
+                ));
+            }
+            _ => false,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push((name, newtype));
+    }
+    Ok(variants)
+}
+
+// ------------------------------------------------------------------ codegen
+
+/// `impl<...bounds> Trait for Name<...>` header halves.
+fn impl_header(item: &Item, bound: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        (String::new(), item.name.clone())
+    } else {
+        let bounds: Vec<String> = item.generics.iter().map(|g| format!("{g}: {bound}")).collect();
+        let args = item.generics.join(", ");
+        (format!("<{}>", bounds.join(", ")), format!("{}<{args}>", item.name))
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (params, target) = impl_header(item, "::serde::Serialize");
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, newtype)| {
+                    let name = &item.name;
+                    if *newtype {
+                        format!(
+                            "{name}::{v}(__inner) => ::serde::Content::Map(::std::vec![\
+                             (::std::string::String::from({v:?}), \
+                             ::serde::Serialize::to_content(__inner))])"
+                        )
+                    } else {
+                        format!(
+                            "{name}::{v} => \
+                             ::serde::Content::Str(::std::string::String::from({v:?}))"
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl{params} ::serde::Serialize for {target} {{\n\
+         fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (params, target) = impl_header(item, "::serde::Deserialize");
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_content(\
+                         ::serde::content_field(__map, {f:?}))?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __map = __content.as_map().ok_or_else(|| \
+                 ::serde::DeError::custom(concat!(\"expected map for \", {name:?})))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, newtype)| !newtype)
+                .map(|(v, _)| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let newtype_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, newtype)| *newtype)
+                .map(|(v, _)| {
+                    format!(
+                        "{v:?} => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_content(&__entries[0].1)?)),"
+                    )
+                })
+                .collect();
+            format!(
+                "match __content {{\n\
+                 ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                 {units}\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }},\n\
+                 ::serde::Content::Map(__entries) if __entries.len() == 1 => \
+                 match __entries[0].0.as_str() {{\n\
+                 {newtypes}\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }},\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"expected variant of {name}, got {{__other:?}}\"))),\n\
+                 }}",
+                units = unit_arms.join("\n"),
+                newtypes = newtype_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "impl{params} ::serde::Deserialize for {target} {{\n\
+         fn from_content(__content: &::serde::Content) \
+         -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
