@@ -26,6 +26,9 @@ else
 
     echo "==> cargo test --workspace"
     cargo test --workspace
+
+    echo "==> cargo bench --workspace --no-run"
+    cargo bench --workspace --no-run
 fi
 
 echo "==> ci.sh: all checks passed"

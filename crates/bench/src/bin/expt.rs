@@ -22,17 +22,26 @@ use std::path::PathBuf;
 
 const USAGE: &str =
     "usage: expt <table3|fig7|fig8|fig9|fig10|fig11|table4|fig12|fig13|ablation|all> \
-     [--smoke] [--metrics-out <path>] [--trace-out <path>]";
+     [--smoke] [--metrics-out <path>] [--trace-out <path>]\n\
+     \x20      expt bench-step [--smoke] [--out <path>]   per-step latency snapshot";
 
 fn main() {
     let mut smoke = false;
     let mut metrics_out: Option<PathBuf> = None;
     let mut trace_out: Option<PathBuf> = None;
+    let mut out_path: Option<PathBuf> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut raw = std::env::args().skip(1);
     while let Some(arg) = raw.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--out" => {
+                let value = raw.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path\n{USAGE}");
+                    std::process::exit(2);
+                });
+                out_path = Some(PathBuf::from(value));
+            }
             "--metrics-out" | "--trace-out" => {
                 let value = raw.next().unwrap_or_else(|| {
                     eprintln!("{arg} requires a path\n{USAGE}");
@@ -54,6 +63,32 @@ fn main() {
     if ids.is_empty() {
         eprintln!("{USAGE}");
         std::process::exit(2);
+    }
+    // bench-step is a standalone latency snapshot, not a paper experiment.
+    if ids.iter().any(|i| i == "bench-step") {
+        let scale = if smoke {
+            smiler_bench::stepbench::StepBenchScale::smoke()
+        } else {
+            smiler_bench::stepbench::StepBenchScale::default_scale()
+        };
+        let report = smiler_bench::stepbench::run(scale);
+        let json = serde_json::to_string_pretty(&report).expect("report serialises");
+        let path = out_path.unwrap_or_else(|| PathBuf::from("results/BENCH_step.json"));
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        std::fs::write(&path, format!("{json}\n")).unwrap_or_else(|e| {
+            eprintln!("could not write {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        println!(
+            "bench-step: step median {:.2} ms / p95 {:.2} ms, search median {:.2} ms -> {}",
+            report.step.median_ms,
+            report.step.p95_ms,
+            report.search.median_ms,
+            path.display()
+        );
+        return;
     }
     let observing = metrics_out.is_some() || trace_out.is_some();
     if observing {

@@ -1,0 +1,192 @@
+//! Per-step latency snapshot: the repo's perf trajectory tracker.
+//!
+//! `expt bench-step` drives the full SMiLer hot path — continuous suffix
+//! kNN search plus GP ensemble prediction — for a fixed number of steps on
+//! deterministic road data and writes `BENCH_step.json` with the median and
+//! p95 wall-clock per-step latency plus the index's pruning ratios. The
+//! snapshot is committed alongside optimisation PRs so "≥2x median
+//! speedup" claims are checkable from the repo history alone.
+
+use serde::Serialize;
+use smiler_core::sensor::{SensorPredictor, SmilerConfig};
+use smiler_core::PredictorKind;
+use smiler_gpu::Device;
+use smiler_index::{IndexParams, SmilerIndex};
+use smiler_timeseries::synthetic::{DatasetKind, SyntheticSpec};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Scale of one bench-step run.
+#[derive(Debug, Clone, Copy)]
+pub struct StepBenchScale {
+    /// Days of road history behind the continuous run.
+    pub days: usize,
+    /// Continuous steps to measure (after warmup).
+    pub steps: usize,
+    /// Warmup steps excluded from the statistics.
+    pub warmup: usize,
+}
+
+impl StepBenchScale {
+    /// Default scale: enough history for the paper-default index and enough
+    /// steps for a stable median.
+    pub fn default_scale() -> Self {
+        StepBenchScale { days: 16, steps: 30, warmup: 3 }
+    }
+
+    /// CI-sized smoke scale.
+    pub fn smoke() -> Self {
+        StepBenchScale { days: 8, steps: 5, warmup: 1 }
+    }
+}
+
+/// Latency summary in milliseconds.
+#[derive(Debug, Clone, Serialize)]
+pub struct LatencySummary {
+    /// Mean per-step latency.
+    pub mean_ms: f64,
+    /// Median per-step latency.
+    pub median_ms: f64,
+    /// 95th-percentile per-step latency.
+    pub p95_ms: f64,
+    /// Fastest step.
+    pub min_ms: f64,
+    /// Slowest step.
+    pub max_ms: f64,
+}
+
+impl LatencySummary {
+    fn from_samples(samples: &mut [f64]) -> Self {
+        assert!(!samples.is_empty(), "latency summary needs samples");
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let n = samples.len();
+        let pct = |p: f64| samples[(((n - 1) as f64) * p).round() as usize];
+        LatencySummary {
+            mean_ms: samples.iter().sum::<f64>() / n as f64,
+            median_ms: pct(0.50),
+            p95_ms: pct(0.95),
+            min_ms: samples[0],
+            max_ms: samples[n - 1],
+        }
+    }
+}
+
+/// One committed `BENCH_step.json` record.
+#[derive(Debug, Clone, Serialize)]
+pub struct StepBenchReport {
+    /// Record identifier.
+    pub bench: String,
+    /// Days of history / measured steps / warmup steps.
+    pub scale: (usize, usize, usize),
+    /// Full predict(h=1)+observe step latency (search + GP ensemble).
+    pub step: LatencySummary,
+    /// Index-only search+advance latency.
+    pub search: LatencySummary,
+    /// Per item query: mean fraction of candidates pruned before DTW
+    /// verification (1 − unfiltered/candidates).
+    pub filter_pruning_ratio: Vec<f64>,
+    /// Simulated device seconds per search (mean), for cross-checking that
+    /// wall-clock wins do not regress the cost model.
+    pub search_sim_seconds_mean: f64,
+}
+
+fn road_sensor(days: usize, seed: u64) -> Vec<f64> {
+    SyntheticSpec { kind: DatasetKind::Road, sensors: 1, days, seed }
+        .generate()
+        .sensors
+        .remove(0)
+        .values()
+        .to_vec()
+}
+
+/// Run the per-step benchmark and return the report.
+pub fn run(scale: StepBenchScale) -> StepBenchReport {
+    let total = scale.warmup + scale.steps;
+    let series = road_sensor(scale.days, 2015);
+    let split = series.len() - total;
+
+    // ---- Full pipeline: continuous GP prediction, one sensor. ----
+    let device = Arc::new(Device::default_gpu());
+    let config = SmilerConfig { h_max: 10, ..Default::default() };
+    let mut predictor = SensorPredictor::new(
+        Arc::clone(&device),
+        0,
+        series[..split].to_vec(),
+        config,
+        PredictorKind::GaussianProcess,
+    );
+    let mut step_ms: Vec<f64> = Vec::with_capacity(scale.steps);
+    for (i, &v) in series[split..].iter().enumerate() {
+        let t0 = Instant::now();
+        let (mean, var) = predictor.predict(1);
+        predictor.observe(v);
+        assert!(mean.is_finite() && var > 0.0, "prediction degenerated");
+        if i >= scale.warmup {
+            step_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+
+    // ---- Index-only: continuous search, paper-default parameters. ----
+    let device = Device::default_gpu();
+    let params = IndexParams::default();
+    let mut index = SmilerIndex::build(&device, series[..split].to_vec(), params.clone());
+    let mut search_ms: Vec<f64> = Vec::with_capacity(scale.steps);
+    let mut pruned_frac = vec![0.0f64; params.lengths.len()];
+    let mut sim_seconds = 0.0;
+    let mut measured = 0usize;
+    for (i, &v) in series[split..].iter().enumerate() {
+        let t0 = Instant::now();
+        let max_end = index.series().len() - 10;
+        let out = index.search(&device, max_end);
+        index.advance(&device, v);
+        if i >= scale.warmup {
+            search_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+            for (j, (&cand, &unf)) in
+                out.stats.candidates.iter().zip(&out.stats.unfiltered).enumerate()
+            {
+                if cand > 0 {
+                    pruned_frac[j] += 1.0 - unf as f64 / cand as f64;
+                }
+            }
+            sim_seconds += out.stats.total_sim_seconds;
+            measured += 1;
+        }
+    }
+    for p in &mut pruned_frac {
+        *p /= measured.max(1) as f64;
+    }
+
+    StepBenchReport {
+        bench: "step".to_string(),
+        scale: (scale.days, scale.steps, scale.warmup),
+        step: LatencySummary::from_samples(&mut step_ms),
+        search: LatencySummary::from_samples(&mut search_ms),
+        filter_pruning_ratio: pruned_frac,
+        search_sim_seconds_mean: sim_seconds / measured.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_sane_report() {
+        let report = run(StepBenchScale::smoke());
+        assert_eq!(report.bench, "step");
+        assert!(report.step.median_ms > 0.0);
+        assert!(report.step.p95_ms >= report.step.median_ms);
+        assert!(report.search.median_ms > 0.0);
+        assert!(report.filter_pruning_ratio.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let mut samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = LatencySummary::from_samples(&mut samples);
+        assert_eq!(s.median_ms, 51.0);
+        assert_eq!(s.p95_ms, 95.0);
+        assert_eq!(s.min_ms, 1.0);
+        assert_eq!(s.max_ms, 100.0);
+    }
+}

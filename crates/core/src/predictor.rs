@@ -51,13 +51,20 @@ impl ArPredictor {
     /// Predict `N(ũ₀, σ̃₀²)` from the kNN labels. Returns `None` on empty
     /// kNN data.
     pub fn predict(&self, data: &KnnData) -> Option<(f64, f64)> {
-        if data.is_empty() {
+        self.predict_labels(&data.y)
+    }
+
+    /// [`ArPredictor::predict`] from the labels alone — aggregation never
+    /// reads the neighbour segments, so prefix-k ensemble cells can share
+    /// one label vector.
+    pub fn predict_labels(&self, y: &[f64]) -> Option<(f64, f64)> {
+        if y.is_empty() {
             return None;
         }
-        let mean = stats::mean(&data.y);
+        let mean = stats::mean(y);
         // Pseudo-variance floored: a degenerate neighbourhood (all labels
         // equal) still must not claim zero uncertainty.
-        let var = stats::variance(&data.y).max(1e-9);
+        let var = stats::variance(y).max(1e-9);
         Some((mean, var))
     }
 }
@@ -118,28 +125,7 @@ impl GpCellPredictor {
         // not to zero — when the kernel carries little information.
         let y_mean = stats::mean(&data.y);
         let centred: Vec<f64> = data.y.iter().map(|y| y - y_mean).collect();
-        let hyper = match self.hyper {
-            None => {
-                smiler_obs::count("gp.warm_start", "cold", 1);
-                let h = train_full(&data.x, &centred, &self.train_config);
-                self.hyper = Some(h);
-                self.steps_since_train = 0;
-                h
-            }
-            Some(prev) => {
-                self.steps_since_train += 1;
-                if self.steps_since_train >= self.retrain_every {
-                    smiler_obs::count("gp.warm_start", "online", 1);
-                    let h = train_online(&data.x, &centred, prev, &self.train_config);
-                    self.hyper = Some(h);
-                    self.steps_since_train = 0;
-                    h
-                } else {
-                    smiler_obs::count("gp.warm_start", "hit", 1);
-                    prev
-                }
-            }
-        };
+        let hyper = self.ensure_hyper(&data.x, &centred);
         match GpModel::fit(data.x.clone(), &centred, hyper) {
             Ok(gp) => {
                 let (mean, var) = gp.predict(&data.x0);
@@ -150,6 +136,81 @@ impl GpCellPredictor {
             Err(_) => ArPredictor.predict(data),
         }
     }
+
+    /// Train (cold start), warm-start-retrain, or reuse the cell's
+    /// hyperparameters for this step's training data, following the
+    /// `retrain_every` schedule. Exposed so an ensemble column can train
+    /// once on its largest-k cell and share the result (see
+    /// `smiler_gp::PrefixGp`).
+    pub fn ensure_hyper(&mut self, x: &Matrix, centred_y: &[f64]) -> Hyperparams {
+        let plan = self.plan_hyper();
+        let h = Self::compute_hyper(plan, x, centred_y, &self.train_config);
+        self.install_hyper(h);
+        h
+    }
+
+    /// Decide what this step's training looks like and advance the
+    /// `retrain_every` bookkeeping. Splitting the (mutating, cheap)
+    /// decision from the (pure, expensive) [`Self::compute_hyper`] lets
+    /// independent ensemble columns run their training on worker threads
+    /// while the cell state stays on the caller.
+    pub fn plan_hyper(&mut self) -> HyperPlan {
+        match self.hyper {
+            None => {
+                smiler_obs::count("gp.warm_start", "cold", 1);
+                self.steps_since_train = 0;
+                HyperPlan::Cold
+            }
+            Some(prev) => {
+                self.steps_since_train += 1;
+                if self.steps_since_train >= self.retrain_every {
+                    smiler_obs::count("gp.warm_start", "online", 1);
+                    self.steps_since_train = 0;
+                    HyperPlan::Online(prev)
+                } else {
+                    smiler_obs::count("gp.warm_start", "hit", 1);
+                    HyperPlan::Reuse(prev)
+                }
+            }
+        }
+    }
+
+    /// Execute a [`HyperPlan`] on the given training data. Pure: touches no
+    /// cell state, so it may run on any thread.
+    pub fn compute_hyper(
+        plan: HyperPlan,
+        x: &Matrix,
+        centred_y: &[f64],
+        config: &TrainConfig,
+    ) -> Hyperparams {
+        match plan {
+            HyperPlan::Cold => train_full(x, centred_y, config),
+            HyperPlan::Online(prev) => train_online(x, centred_y, prev, config),
+            HyperPlan::Reuse(h) => h,
+        }
+    }
+
+    /// Store the outcome of [`Self::compute_hyper`] back into the cell.
+    pub fn install_hyper(&mut self, hyper: Hyperparams) {
+        self.hyper = Some(hyper);
+    }
+
+    /// The cell's training configuration.
+    pub fn train_config(&self) -> &TrainConfig {
+        &self.train_config
+    }
+}
+
+/// The outcome of [`GpCellPredictor::plan_hyper`]: what (if any) training
+/// this step's hyperparameters need.
+#[derive(Debug, Clone, Copy)]
+pub enum HyperPlan {
+    /// No previous hyperparameters: full training from a heuristic start.
+    Cold,
+    /// Warm-start online training from the previous step's optimum.
+    Online(Hyperparams),
+    /// Within the retrain cadence: reuse without training.
+    Reuse(Hyperparams),
 }
 
 #[cfg(test)]

@@ -7,11 +7,11 @@
 //! instantiates the abstract predictors on prefix-k subsets of the results.
 
 use crate::ensemble::{EnsembleConfig, EnsembleMatrix};
-use crate::predictor::{ArPredictor, GpCellPredictor, KnnData, PredictorKind};
-use smiler_gp::TrainConfig;
+use crate::predictor::{ArPredictor, GpCellPredictor, HyperPlan, KnnData, PredictorKind};
+use smiler_gp::{GpError, GpModel, GpScratch, Hyperparams, PrefixGp, TrainConfig};
 use smiler_gpu::Device;
 use smiler_index::{IndexParams, SearchOutput, SmilerIndex, ThresholdStrategy};
-use smiler_linalg::Matrix;
+use smiler_linalg::{stats, Matrix};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -100,6 +100,15 @@ struct HorizonState {
     pending: VecDeque<(usize, CellPredictions)>,
 }
 
+/// Reusable buffers for the prediction step: GP triangular-solve scratch
+/// and the per-cell centred-target vector. Lives on the predictor so the
+/// steady-state predict loop performs no heap allocations in the GP math.
+#[derive(Debug, Default)]
+struct PredictScratch {
+    gp: GpScratch,
+    centred: Vec<f64>,
+}
+
 /// The per-sensor semi-lazy predictor.
 #[derive(Debug)]
 pub struct SensorPredictor {
@@ -111,6 +120,7 @@ pub struct SensorPredictor {
     /// Search result reused across horizons within one step.
     cache: Option<(usize, SearchOutput)>,
     horizons: HashMap<usize, HorizonState>,
+    scratch: PredictScratch,
 }
 
 impl SensorPredictor {
@@ -136,6 +146,7 @@ impl SensorPredictor {
             index,
             cache: None,
             horizons: HashMap::new(),
+            scratch: PredictScratch::default(),
         }
     }
 
@@ -281,6 +292,12 @@ impl SensorPredictor {
     /// observation. Runs the Search Step once per time step (cached across
     /// horizons) and the Prediction Step per ensemble cell.
     ///
+    /// Because a search's neighbour lists are distance-sorted, every EKV
+    /// cell of a `(d, h)` column trains on a *prefix* of the same list, so
+    /// the kNN data is assembled once per column at the largest awake `k`
+    /// and GP cells share one hyperparameter set and one Gram
+    /// factorisation ([`PrefixGp`]) instead of Σ O(k³) independent fits.
+    ///
     /// # Panics
     /// Panics if `h` is zero or exceeds the configured `h_max`.
     pub fn predict(&mut self, h: usize) -> (f64, f64) {
@@ -289,34 +306,104 @@ impl SensorPredictor {
         let n_elv = self.config.ensemble.elv.len();
         let ekv = self.config.ensemble.ekv.clone();
         let target = self.index.series().len() - 1 + h;
+        let n_cells = ekv.len() * n_elv;
 
-        // Per-cell predictions (row-major over EKV × ELV, matching
-        // EnsembleConfig::cell).
-        let mut cell_data: Vec<Option<KnnData>> = Vec::with_capacity(ekv.len() * n_elv);
-        {
+        let awake: Vec<bool> = {
             let state = self.horizons.get(&h);
-            for (ci, &k) in ekv.iter().enumerate() {
-                for d_idx in 0..n_elv {
-                    let idx = ci * n_elv + d_idx;
-                    let awake = state.map_or(true, |s| s.ensemble.is_awake(idx));
-                    cell_data.push(if awake {
-                        Some(self.knn_data(&search, k, d_idx, h))
-                    } else {
-                        None
-                    });
-                }
-            }
-        }
+            (0..n_cells).map(|idx| state.map_or(true, |s| s.ensemble.is_awake(idx))).collect()
+        };
+        // One kNN assembly per ELV column at the largest awake k; `None`
+        // when the whole column is asleep.
+        let col_data: Vec<Option<KnnData>> = (0..n_elv)
+            .map(|d_idx| {
+                let k_col = ekv
+                    .iter()
+                    .enumerate()
+                    .filter(|&(ci, _)| awake[ci * n_elv + d_idx])
+                    .map(|(_, &k)| k)
+                    .max()?;
+                Some(self.knn_data(&search, k_col, d_idx, h))
+            })
+            .collect();
 
+        let mut scratch = std::mem::take(&mut self.scratch);
         let state = self.horizon_state(h);
-        let mut predictions: Vec<Option<(f64, f64)>> = Vec::with_capacity(cell_data.len());
-        for (idx, data) in cell_data.into_iter().enumerate() {
-            let p = match (data, &mut state.cells[idx]) {
-                (Some(data), CellState::Ar) => ArPredictor.predict(&data),
-                (Some(data), CellState::Gp(cell)) => cell.predict(&data),
-                (None, _) => None,
+        let mut predictions: Vec<Option<(f64, f64)>> = vec![None; n_cells];
+
+        // Phase 1 (serial): per column, pick the trainer cell, snapshot its
+        // training inputs and advance the retrain-cadence bookkeeping.
+        let jobs: Vec<ColumnTrainJob> = col_data
+            .iter()
+            .enumerate()
+            .filter_map(|(d_idx, data)| {
+                let data = data.as_ref()?;
+                let (take, idx) = column_trainer(state, &ekv, n_elv, d_idx, &awake, data)?;
+                let y = &data.y[..take];
+                let y_mean = stats::mean(y);
+                let centred: Vec<f64> = y.iter().map(|v| v - y_mean).collect();
+                let x = if take == data.x.rows() {
+                    data.x.clone()
+                } else {
+                    Matrix::from_fn(take, data.x.cols(), |i, j| data.x[(i, j)])
+                };
+                let CellState::Gp(cell) = &mut state.cells[idx] else {
+                    unreachable!("trainer is a GP cell")
+                };
+                let plan = cell.plan_hyper();
+                let config = cell.train_config().clone();
+                Some(ColumnTrainJob { d_idx, idx, x, centred, plan, config })
+            })
+            .collect();
+
+        // Phase 2: hyperparameter training + shared-prefix factorisation —
+        // pure, column-independent computations, so extra columns run on
+        // scoped worker threads when the host has cores to spare. The
+        // first job stays on the calling thread (its spans nest under the
+        // step as before).
+        let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let results: Vec<ColumnGpFit> = if jobs.len() <= 1 || host_cores <= 1 {
+            jobs.into_iter().map(run_column_train).collect()
+        } else {
+            let mut jobs = jobs.into_iter();
+            let first = jobs.next().expect("more than one job");
+            let rest: Vec<ColumnTrainJob> = jobs.collect();
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = rest
+                    .into_iter()
+                    .map(|job| scope.spawn(move |_| run_column_train(job)))
+                    .collect();
+                let mut out = vec![run_column_train(first)];
+                out.extend(handles.into_iter().map(|h| h.join().expect("column trainer")));
+                out
+            })
+            .expect("column training scope")
+        };
+
+        // Phase 3 (serial): install the trained hyperparameters, then
+        // predict every awake cell from its column's shared factorisation.
+        let mut column_gp: Vec<Option<(Hyperparams, Result<PrefixGp, GpError>)>> =
+            (0..n_elv).map(|_| None).collect();
+        for fit in results {
+            let CellState::Gp(cell) = &mut state.cells[fit.idx] else {
+                unreachable!("trainer is a GP cell")
             };
-            predictions.push(p);
+            cell.install_hyper(fit.hyper);
+            column_gp[fit.d_idx] = Some((fit.hyper, fit.fit));
+        }
+        for (d_idx, data) in col_data.iter().enumerate() {
+            if let Some(data) = data {
+                predict_column(
+                    state,
+                    &ekv,
+                    n_elv,
+                    d_idx,
+                    &awake,
+                    data,
+                    &column_gp[d_idx],
+                    &mut scratch,
+                    &mut predictions,
+                );
+            }
         }
 
         let fused = state.ensemble.fuse(&predictions);
@@ -324,6 +411,7 @@ impl SensorPredictor {
         // predicted this horizon twice in one step).
         state.pending.retain(|(t, _)| *t != target);
         state.pending.push_back((target, predictions));
+        self.scratch = scratch;
 
         fused.unwrap_or_else(|| {
             let last = self.index.series().last().copied().unwrap_or(0.0);
@@ -363,6 +451,125 @@ impl SensorPredictor {
         self.horizons
             .get(&h)
             .map(|s| (0..s.ensemble.config().cells()).map(|i| s.ensemble.weight(i)).collect())
+    }
+}
+
+/// One column's hyperparameter-training inputs, snapshotted on the calling
+/// thread so the expensive pure computation can run on any thread.
+struct ColumnTrainJob {
+    d_idx: usize,
+    idx: usize,
+    x: Matrix,
+    centred: Vec<f64>,
+    plan: HyperPlan,
+    config: TrainConfig,
+}
+
+/// The trained hyperparameters and shared-prefix factorisation of one
+/// `(d, h)` ensemble column.
+struct ColumnGpFit {
+    d_idx: usize,
+    idx: usize,
+    hyper: Hyperparams,
+    fit: Result<PrefixGp, GpError>,
+}
+
+/// Execute one column's [`HyperPlan`] and fit the column-wide
+/// [`PrefixGp`] factorisation.
+fn run_column_train(job: ColumnTrainJob) -> ColumnGpFit {
+    let _span = smiler_obs::span("gp.predict");
+    let hyper = GpCellPredictor::compute_hyper(job.plan, &job.x, &job.centred, &job.config);
+    let fit = PrefixGp::fit(job.x, hyper);
+    ColumnGpFit { d_idx: job.d_idx, idx: job.idx, hyper, fit }
+}
+
+/// The trainer of a `(d, h)` column: the awake GP cell with the most
+/// neighbours, whose hyperparameters and factorisation are shared
+/// column-wide. Returns `(take, cell idx)`, or `None` when no awake GP
+/// cell has a trainable (k ≥ 3) neighbourhood.
+fn column_trainer(
+    state: &HorizonState,
+    ekv: &[usize],
+    n_elv: usize,
+    d_idx: usize,
+    awake: &[bool],
+    data: &KnnData,
+) -> Option<(usize, usize)> {
+    let mut trainer: Option<(usize, usize)> = None; // (take, cell idx)
+    for (ci, &k) in ekv.iter().enumerate() {
+        let idx = ci * n_elv + d_idx;
+        let take = k.min(data.len());
+        if awake[idx]
+            && take >= 3
+            && matches!(state.cells[idx], CellState::Gp(_))
+            && trainer.map_or(true, |(t, _)| take > t)
+        {
+            trainer = Some((take, idx));
+        }
+    }
+    trainer
+}
+
+/// Predict every awake cell of one `(d, h)` ensemble column from the
+/// column's shared kNN data (`data` holds the largest awake cell's
+/// neighbours; smaller cells read prefixes of it).
+///
+/// GP cells share one hyperparameter set — trained through the largest
+/// cell's warm-start schedule, see [`run_column_train`] — and one Gram
+/// factorisation whose leading principal blocks serve every prefix
+/// length. When the factorisation needed jitter the prefix identity no
+/// longer holds and each cell falls back to an independent fit with the
+/// shared hyperparameters.
+#[allow(clippy::too_many_arguments)] // internal helper mirroring the cell grid
+fn predict_column(
+    state: &HorizonState,
+    ekv: &[usize],
+    n_elv: usize,
+    d_idx: usize,
+    awake: &[bool],
+    data: &KnnData,
+    column_gp: &Option<(Hyperparams, Result<PrefixGp, GpError>)>,
+    scratch: &mut PredictScratch,
+    predictions: &mut [Option<(f64, f64)>],
+) {
+    let _gp_span = column_gp.is_some().then(|| smiler_obs::span("gp.predict"));
+    for (ci, &k) in ekv.iter().enumerate() {
+        let idx = ci * n_elv + d_idx;
+        if !awake[idx] {
+            continue;
+        }
+        let take = k.min(data.len());
+        let y = &data.y[..take];
+        predictions[idx] = match (&state.cells[idx], column_gp) {
+            (CellState::Ar, _) => ArPredictor.predict_labels(y),
+            // Degenerate neighbourhoods (k < 3) cannot support GP
+            // hyperparameters; aggregate instead.
+            (CellState::Gp(_), _) if take < 3 => ArPredictor.predict_labels(y),
+            (CellState::Gp(_), Some((hyper, fit))) => {
+                let y_mean = stats::mean(y);
+                scratch.centred.clear();
+                scratch.centred.extend(y.iter().map(|v| v - y_mean));
+                let posterior = match fit {
+                    Ok(pg) if pg.exact() => {
+                        Ok(pg.predict_prefix(take, &scratch.centred, &data.x0, &mut scratch.gp))
+                    }
+                    // Jittered factorisation: the prefix identity is gone,
+                    // fit this cell independently (shared hyperparameters).
+                    Ok(pg) => pg.oracle_fit(take, &scratch.centred).map(|gp| gp.predict(&data.x0)),
+                    Err(_) => {
+                        let sub = Matrix::from_fn(take, data.x.cols(), |i, j| data.x[(i, j)]);
+                        GpModel::fit(sub, &scratch.centred, *hyper).map(|gp| gp.predict(&data.x0))
+                    }
+                };
+                match posterior {
+                    Ok((mean, var)) => Some((mean + y_mean, var)),
+                    // Pathological Gram matrix even cell-by-cell: aggregate.
+                    Err(_) => ArPredictor.predict_labels(y),
+                }
+            }
+            // No trainable cell in the column (all prefixes degenerate).
+            (CellState::Gp(_), None) => ArPredictor.predict_labels(y),
+        };
     }
 }
 

@@ -14,6 +14,41 @@ fn check_inputs(q: &[f64], c: &[f64]) -> usize {
     q.len()
 }
 
+/// Reusable warping buffer for the compressed-matrix DTW variants.
+///
+/// One scratch per verification lane: the `_with` functions reset and grow
+/// it as needed, so a caller that loops over candidates of the same band
+/// width performs **zero heap allocations** after the first call — the
+/// workspace contract of the hot verification path.
+#[derive(Debug, Clone, Default)]
+pub struct DtwScratch {
+    buf: Vec<[f64; 2]>,
+}
+
+impl DtwScratch {
+    /// An empty scratch; grows on first use.
+    pub fn new() -> Self {
+        DtwScratch { buf: Vec::new() }
+    }
+
+    /// A scratch pre-sized for warping width `rho` (no allocation on use).
+    pub fn with_rho(rho: usize) -> Self {
+        DtwScratch { buf: vec![[f64::INFINITY; 2]; 2 * rho + 2] }
+    }
+
+    /// Reset (and grow if needed) to `m` all-infinity cells.
+    fn reset(&mut self, m: usize) -> &mut [[f64; 2]] {
+        if self.buf.len() < m {
+            self.buf.resize(m, [f64::INFINITY; 2]);
+        }
+        let buf = &mut self.buf[..m];
+        for cell in buf.iter_mut() {
+            *cell = [f64::INFINITY; 2];
+        }
+        buf
+    }
+}
+
 /// Reference banded DTW: the full `(d+1)×(d+1)` warping matrix with the
 /// Sakoe-Chiba constraint `|i−j| ≤ ρ` (paper Eqns 21–24).
 ///
@@ -49,12 +84,21 @@ pub fn dtw_banded(q: &[f64], c: &[f64], rho: usize) -> f64 {
 /// # Panics
 /// Panics if the sequences differ in length or are empty.
 pub fn dtw_compressed(q: &[f64], c: &[f64], rho: usize) -> f64 {
+    dtw_compressed_with(q, c, rho, &mut DtwScratch::new())
+}
+
+/// [`dtw_compressed`] writing into a caller-owned [`DtwScratch`] —
+/// allocation-free after the scratch has grown to the band width.
+///
+/// # Panics
+/// Panics if the sequences differ in length or are empty.
+pub fn dtw_compressed_with(q: &[f64], c: &[f64], rho: usize, scratch: &mut DtwScratch) -> f64 {
     smiler_obs::count("dtw.evals", "compressed", 1);
     let d = check_inputs(q, c);
     let m = 2 * rho + 2;
     let inf = f64::INFINITY;
     // buf[slot][parity], slot = i mod m, parity = j mod 2.
-    let mut buf = vec![[inf; 2]; m];
+    let buf = scratch.reset(m);
     // Border column j = 0: gamma(0,0) = 0, gamma(i,0) = inf (already inf).
     buf[0][0] = 0.0;
     // gamma(0, j) = inf for j >= 1 is installed when each column begins.
@@ -103,11 +147,39 @@ pub fn dtw_early_abandon_counted(
     rho: usize,
     threshold: f64,
 ) -> (Option<f64>, u64) {
+    dtw_early_abandon_counted_with(q, c, rho, threshold, &mut DtwScratch::new())
+}
+
+/// [`dtw_early_abandon`] writing into a caller-owned [`DtwScratch`] —
+/// allocation-free after the scratch has grown to the band width.
+///
+/// # Panics
+/// Panics if the sequences differ in length or are empty.
+pub fn dtw_early_abandon_with(
+    q: &[f64],
+    c: &[f64],
+    rho: usize,
+    threshold: f64,
+    scratch: &mut DtwScratch,
+) -> Option<f64> {
+    dtw_early_abandon_counted_with(q, c, rho, threshold, scratch).0
+}
+
+/// [`dtw_early_abandon_counted`] writing into a caller-owned
+/// [`DtwScratch`] — allocation-free after the scratch has grown to the
+/// band width.
+pub fn dtw_early_abandon_counted_with(
+    q: &[f64],
+    c: &[f64],
+    rho: usize,
+    threshold: f64,
+    scratch: &mut DtwScratch,
+) -> (Option<f64>, u64) {
     let d = check_inputs(q, c);
     let mut cells: u64 = 0;
     let m = 2 * rho + 2;
     let inf = f64::INFINITY;
-    let mut buf = vec![[inf; 2]; m];
+    let buf = scratch.reset(m);
     buf[0][0] = 0.0;
     let idx = |i: isize| -> usize { i.rem_euclid(m as isize) as usize };
 
@@ -271,6 +343,35 @@ mod tests {
                     prop_assert!(full <= threshold + 1e-9);
                 }
                 None => prop_assert!(full > threshold - 1e-9),
+            }
+        }
+
+        #[test]
+        fn reused_scratch_matches_fresh(
+            pairs in prop::collection::vec(
+                (2usize..40).prop_flat_map(|n| (
+                    prop::collection::vec(-10.0f64..10.0, n),
+                    prop::collection::vec(-10.0f64..10.0, n),
+                    0usize..10,
+                )),
+                1..6,
+            ),
+            threshold in 0.0f64..500.0,
+        ) {
+            // One scratch reused across calls of varying length/band must
+            // behave exactly like a fresh allocation per call.
+            let mut scratch = DtwScratch::new();
+            for (q, c, rho) in &pairs {
+                let fresh = dtw_compressed(q, c, *rho);
+                let reused = dtw_compressed_with(q, c, *rho, &mut scratch);
+                prop_assert!((fresh - reused).abs() < 1e-12,
+                    "fresh {} vs reused {}", fresh, reused);
+                let (fresh_ea, fresh_cells) =
+                    dtw_early_abandon_counted(q, c, *rho, threshold);
+                let (reused_ea, reused_cells) =
+                    dtw_early_abandon_counted_with(q, c, *rho, threshold, &mut scratch);
+                prop_assert_eq!(fresh_ea, reused_ea);
+                prop_assert_eq!(fresh_cells, reused_cells);
             }
         }
 

@@ -26,9 +26,11 @@ pub mod ard;
 pub mod kernel;
 pub mod loo;
 pub mod model;
+pub mod prefix;
 pub mod train;
 
 pub use ard::{ArdGpModel, ArdHyperparams};
 pub use kernel::Hyperparams;
 pub use model::{GpError, GpModel};
+pub use prefix::{GpScratch, PrefixGp};
 pub use train::{train_full, train_online, TrainConfig};

@@ -69,9 +69,33 @@ pub fn loo_value_and_log_gradient(
     y: &[f64],
     hyper: &Hyperparams,
 ) -> Option<(f64, [f64; 3])> {
-    let n = x.rows();
     let sq = kernel::squared_distances(x);
-    let gram = kernel::gram(&sq, hyper);
+    loo_value_and_log_gradient_from_sq(&sq, y, hyper)
+}
+
+/// [`loo_value_and_log_gradient`] with the pairwise squared distances
+/// precomputed. The line search evaluates the objective dozens of times
+/// per training run while `X` never changes, so the O(k²·d) distance
+/// matrix is hoisted out of the inner loop (see [`crate::train`]).
+///
+/// The gradient exploits the SE kernel's structure instead of running the
+/// generic GPML recipe for all three directions. With `B = K⁻¹`:
+///
+/// ```text
+/// ∂K/∂s₀ = 2(K − θ₂²I)  ⇒  Z₀ = 2I − 2θ₂²B
+/// ∂K/∂s₂ = 2θ₂²I        ⇒  Z₂ = 2θ₂²B
+/// ```
+///
+/// so both reduce to `β = Bα` and `diag(BB)` — O(k²) — leaving only the
+/// length-scale direction with a dense O(k³) product. This replaces three
+/// dense matmuls and two exp-filled derivative matrices with one of each.
+pub fn loo_value_and_log_gradient_from_sq(
+    sq: &Matrix,
+    y: &[f64],
+    hyper: &Hyperparams,
+) -> Option<(f64, [f64; 3])> {
+    let n = sq.rows();
+    let gram = kernel::gram(sq, hyper);
     let chol = Cholesky::decompose_with_jitter(&gram, 1e-10, 1e-4 * hyper.prior_variance()).ok()?;
     let inv = chol.inverse();
     let alpha = chol.solve(y);
@@ -82,23 +106,30 @@ pub fn loo_value_and_log_gradient(
         value += 0.5 * kaa.ln() - alpha[a] * alpha[a] / (2.0 * kaa) - HALF_LN_2PI;
     }
 
-    let dgrams = kernel::gram_log_gradients(&sq, hyper);
+    // β = Bα and q_a = (BB)_aa feed the two closed-form directions.
+    let noise = hyper.theta2 * hyper.theta2;
+    let beta = inv.matvec(&alpha);
+    let q: Vec<f64> = (0..n).map(|a| (0..n).map(|b| inv[(a, b)] * inv[(a, b)]).sum()).collect();
+
+    // Length-scale direction: ∂K/∂s₁ = K_se ∘ (‖·‖²/θ₁²). Off the diagonal
+    // the Gram matrix *is* K_se, and on it `sq = 0` zeroes the entry, so
+    // the Hadamard form below needs no fresh exponentials.
+    let l2 = hyper.theta1 * hyper.theta1;
+    let dk1 = Matrix::from_fn(n, n, |i, j| gram[(i, j)] * sq[(i, j)] / l2);
+    let t1 = inv.matvec(&dk1.matvec(&alpha));
+    let m = dk1.matmul(&inv);
+
     let mut grad = [0.0; 3];
-    for (j, dk) in dgrams.iter().enumerate() {
-        // Z_j = K⁻¹ ∂K/∂s_j; we need Z_j α and diag(Z_j K⁻¹).
-        let zj = inv.matmul(dk);
-        let zj_alpha = zj.matvec(&alpha);
-        let mut g = 0.0;
-        for a in 0..n {
-            let kaa = inv[(a, a)];
-            // (Z_j K⁻¹)_aa = Σ_b Z_j[a,b] · K⁻¹[b,a].
-            let mut zk_aa = 0.0;
-            for b in 0..n {
-                zk_aa += zj[(a, b)] * inv[(b, a)];
-            }
-            g += (alpha[a] * zj_alpha[a] - 0.5 * (1.0 + alpha[a] * alpha[a] / kaa) * zk_aa) / kaa;
-        }
-        grad[j] = g;
+    for a in 0..n {
+        let kaa = inv[(a, a)];
+        // 0.5·(1 + α_a²/K⁻¹_aa), the weight on diag(Z_j K⁻¹) in GPML 5.13.
+        let w = 0.5 * (1.0 + alpha[a] * alpha[a] / kaa);
+        let d1: f64 = (0..n).map(|b| inv[(a, b)] * m[(b, a)]).sum();
+        grad[0] += (alpha[a] * (2.0 * alpha[a] - 2.0 * noise * beta[a])
+            - w * (2.0 * kaa - 2.0 * noise * q[a]))
+            / kaa;
+        grad[1] += (alpha[a] * t1[a] - w * d1) / kaa;
+        grad[2] += 2.0 * noise * (alpha[a] * beta[a] - w * q[a]) / kaa;
     }
     Some((value, grad))
 }
@@ -186,6 +217,49 @@ mod tests {
         let good = loo_log_likelihood(&x, &y, &Hyperparams::new(1.0, 1.0, 0.1)).unwrap();
         let bad = loo_log_likelihood(&x, &y, &Hyperparams::new(1.0, 100.0, 0.1)).unwrap();
         assert!(good > bad, "good {good} vs bad {bad}");
+    }
+
+    #[test]
+    fn closed_form_gradient_matches_generic_recipe() {
+        // Oracle: the generic GPML 5.13 recipe with explicit ∂K/∂s_j
+        // matrices and three dense products, applied to a multivariate X.
+        let x = Matrix::from_rows(
+            8,
+            3,
+            (0..24).map(|i| ((i as f64 * 0.37).sin() * 1.4).cos()).collect::<Vec<_>>(),
+        );
+        let y: Vec<f64> = (0..8).map(|i| (i as f64 * 0.61).sin()).collect();
+        let h = Hyperparams::new(1.1, 0.8, 0.2);
+
+        let sq = kernel::squared_distances(&x);
+        let gram = kernel::gram(&sq, &h);
+        let chol =
+            Cholesky::decompose_with_jitter(&gram, 1e-10, 1e-4 * h.prior_variance()).unwrap();
+        let inv = chol.inverse();
+        let alpha = chol.solve(&y);
+        let dgrams = kernel::gram_log_gradients(&sq, &h);
+        let mut oracle = [0.0; 3];
+        for (j, dk) in dgrams.iter().enumerate() {
+            let zj = inv.matmul(dk);
+            let zj_alpha = zj.matvec(&alpha);
+            for a in 0..x.rows() {
+                let kaa = inv[(a, a)];
+                let zk_aa: f64 = (0..x.rows()).map(|b| zj[(a, b)] * inv[(b, a)]).sum();
+                oracle[j] += (alpha[a] * zj_alpha[a]
+                    - 0.5 * (1.0 + alpha[a] * alpha[a] / kaa) * zk_aa)
+                    / kaa;
+            }
+        }
+
+        let (_, fast) = loo_value_and_log_gradient(&x, &y, &h).unwrap();
+        for j in 0..3 {
+            assert!(
+                (fast[j] - oracle[j]).abs() < 1e-9 * (1.0 + oracle[j].abs()),
+                "param {j}: closed form {} vs generic {}",
+                fast[j],
+                oracle[j]
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! Shared-prefix GP fits for the ensemble's EKV cells.
+//!
+//! For a fixed `(d, h)` ensemble column every EKV cell conditions on a
+//! *prefix* of the same distance-sorted neighbour list: the `k = 8` cell's
+//! training set is the first 8 rows of the `k = 32` cell's. The Gram matrix
+//! of a prefix is the leading principal submatrix of the full Gram matrix,
+//! and Cholesky factorisation is prefix-stable — row `i` of `L` depends
+//! only on rows `≤ i` of `A` — so one `k_max × k_max` factorisation serves
+//! *every* cell in the column. [`PrefixGp`] exploits this: one O(k_max³)
+//! fit replaces Σ O(k³) independent fits, and each per-cell prediction is
+//! two O(k²) triangular solves into caller-owned scratch, allocation-free.
+//!
+//! When the full Gram matrix needed diagonal jitter the prefix identity no
+//! longer matches what an independent fit would do (the small fit may have
+//! succeeded un-jittered), so [`PrefixGp::exact`] reports whether prefix
+//! predictions are bitwise identical to independent [`GpModel`] fits;
+//! callers fall back to the oracle path when it is `false`.
+
+use crate::kernel::{self, Hyperparams};
+use crate::model::{GpError, GpModel};
+use smiler_linalg::{Cholesky, Matrix};
+
+/// Reusable buffers for [`PrefixGp::predict_prefix`]: the per-cell weight
+/// solve and covariance vector live here so the steady-state predict loop
+/// performs zero heap allocations.
+#[derive(Debug, Clone, Default)]
+pub struct GpScratch {
+    alpha: Vec<f64>,
+    c0: Vec<f64>,
+}
+
+impl GpScratch {
+    /// An empty scratch; grows on first use.
+    pub fn new() -> Self {
+        GpScratch::default()
+    }
+}
+
+/// One Cholesky factorisation of the `k_max × k_max` Gram matrix, serving
+/// GP predictions for every prefix length `k ≤ k_max`.
+#[derive(Debug, Clone)]
+pub struct PrefixGp {
+    x: Matrix,
+    hyper: Hyperparams,
+    chol: Cholesky,
+}
+
+impl PrefixGp {
+    /// Factorise the Gram matrix of all `k_max` neighbour inputs at once.
+    ///
+    /// `x` must hold the neighbour segments in ascending-distance order —
+    /// the invariant that makes each EKV cell's training set a prefix.
+    pub fn fit(x: Matrix, hyper: Hyperparams) -> Result<Self, GpError> {
+        if x.rows() == 0 {
+            return Err(GpError::Empty);
+        }
+        let sq = kernel::squared_distances(&x);
+        let gram = kernel::gram(&sq, &hyper);
+        // Same jitter policy as `GpModel::fit`, so the exact (jitter-zero)
+        // path performs identical arithmetic.
+        let chol = Cholesky::decompose_with_jitter(&gram, 1e-10, 1e-4 * hyper.prior_variance())
+            .map_err(|_| GpError::SingularGram)?;
+        Ok(PrefixGp { x, hyper, chol })
+    }
+
+    /// Number of neighbour inputs `k_max`.
+    pub fn len(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// Whether there are no neighbour inputs (never true after a
+    /// successful [`PrefixGp::fit`]).
+    pub fn is_empty(&self) -> bool {
+        self.x.rows() == 0
+    }
+
+    /// The hyperparameters shared by the whole column.
+    pub fn hyper(&self) -> Hyperparams {
+        self.hyper
+    }
+
+    /// `true` when the factorisation needed no jitter, in which case every
+    /// prefix prediction is bitwise identical to an independent
+    /// [`GpModel`] fit on the first `k` rows (see module docs).
+    pub fn exact(&self) -> bool {
+        self.chol.jitter() == 0.0
+    }
+
+    /// Predict from the first `k` neighbours: `centred_y` are their
+    /// (already mean-centred) targets, `x0` the query segment. Returns
+    /// `(mean, variance)` exactly as [`GpModel::predict`] would, with the
+    /// mean still centred (caller adds its `y` mean back).
+    ///
+    /// # Panics
+    /// Panics if `k` is zero or exceeds [`PrefixGp::len`], if
+    /// `centred_y.len() != k`, or if `x0` has the wrong dimensionality.
+    pub fn predict_prefix(
+        &self,
+        k: usize,
+        centred_y: &[f64],
+        x0: &[f64],
+        scratch: &mut GpScratch,
+    ) -> (f64, f64) {
+        assert!(k >= 1 && k <= self.len(), "prefix length {k} out of range");
+        assert_eq!(centred_y.len(), k, "targets must match the prefix length");
+        assert_eq!(x0.len(), self.x.cols(), "test input dimensionality mismatch");
+        // α = C_k⁻¹ y through the shared factor's leading k×k block.
+        let alpha = &mut scratch.alpha;
+        alpha.clear();
+        alpha.extend_from_slice(centred_y);
+        self.chol.solve_in_place(alpha);
+        let c0 = &mut scratch.c0;
+        c0.clear();
+        for a in 0..k {
+            c0.push(self.hyper.cov(self.x.row(a), x0, false));
+        }
+        let mean: f64 = c0.iter().zip(alpha.iter()).map(|(c, a)| c * a).sum();
+        // quad_form destroys c0, which is no longer needed after the mean.
+        let var = self.hyper.prior_variance() - self.chol.quad_form_in_place(c0);
+        let floor = self.hyper.theta2 * self.hyper.theta2;
+        (mean, var.max(floor * 1e-6).max(0.0))
+    }
+
+    /// The oracle this factorisation replaces: an independent [`GpModel`]
+    /// fit on the first `k` rows. Used by equivalence tests and by callers
+    /// falling back when [`PrefixGp::exact`] is `false`.
+    pub fn oracle_fit(&self, k: usize, centred_y: &[f64]) -> Result<GpModel, GpError> {
+        let sub = Matrix::from_fn(k, self.x.cols(), |i, j| self.x[(i, j)]);
+        GpModel::fit(sub, centred_y, self.hyper)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn neighbour_inputs(k_max: usize, d: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) - 0.5
+        };
+        Matrix::from_fn(k_max, d, |_, _| next() * 2.0)
+    }
+
+    fn hyper() -> Hyperparams {
+        Hyperparams::new(1.0, 1.2, 0.08)
+    }
+
+    #[test]
+    fn prefix_predictions_match_independent_fits_bitwise() {
+        let k_max = 24;
+        let d = 6;
+        let x = neighbour_inputs(k_max, d, 7);
+        let y: Vec<f64> = (0..k_max).map(|i| ((i as f64) * 0.37).sin()).collect();
+        let x0: Vec<f64> = (0..d).map(|j| (j as f64) * 0.1 - 0.2).collect();
+        let pg = PrefixGp::fit(x, hyper()).unwrap();
+        assert!(pg.exact(), "well-separated inputs should factor without jitter");
+        let mut scratch = GpScratch::new();
+        for k in 1..=k_max {
+            let yk = &y[..k];
+            let mean_k = yk.iter().sum::<f64>() / k as f64;
+            let centred: Vec<f64> = yk.iter().map(|v| v - mean_k).collect();
+            let (mean, var) = pg.predict_prefix(k, &centred, &x0, &mut scratch);
+            let oracle = pg.oracle_fit(k, &centred).unwrap();
+            let (o_mean, o_var) = oracle.predict(&x0);
+            assert_eq!(mean, o_mean, "mean differs at k={k}");
+            assert_eq!(var, o_var, "variance differs at k={k}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_columns_is_harmless() {
+        let mut scratch = GpScratch::new();
+        let x0 = [0.3, -0.1, 0.5];
+        for seed in 1..5u64 {
+            let x = neighbour_inputs(10, 3, seed);
+            let y: Vec<f64> = (0..10).map(|i| (i as f64 * 0.51).cos()).collect();
+            let pg = PrefixGp::fit(x, hyper()).unwrap();
+            for k in (2..=10).rev() {
+                let yk = &y[..k];
+                let mean_k = yk.iter().sum::<f64>() / k as f64;
+                let centred: Vec<f64> = yk.iter().map(|v| v - mean_k).collect();
+                let (mean, var) = pg.predict_prefix(k, &centred, &x0, &mut scratch);
+                let (o_mean, o_var) = pg.oracle_fit(k, &centred).unwrap().predict(&x0);
+                assert_eq!((mean, var), (o_mean, o_var), "seed {seed} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn jittered_gram_reports_inexact() {
+        // Duplicate rows with near-zero noise force the jitter path.
+        let x = Matrix::from_rows(4, 1, vec![1.0, 1.0, 1.0, 1.0]);
+        let pg = PrefixGp::fit(x, Hyperparams::new(1.0, 1.0, 1e-9)).unwrap();
+        assert!(!pg.exact());
+    }
+
+    #[test]
+    fn empty_inputs_are_rejected() {
+        assert_eq!(PrefixGp::fit(Matrix::zeros(0, 3), hyper()).unwrap_err(), GpError::Empty);
+    }
+}

@@ -8,7 +8,7 @@
 //! budget; [`train_full`] is the initial-query optimisation run to
 //! (approximate) convergence.
 
-use crate::kernel::Hyperparams;
+use crate::kernel::{self, Hyperparams};
 use crate::loo;
 use smiler_linalg::optimize::{minimize_cg, CgOptions};
 use smiler_linalg::Matrix;
@@ -40,6 +40,9 @@ const LOG_PRIOR_WEIGHT: f64 = 0.01;
 /// scores `+∞` so the line search backs away from degenerate regions
 /// instead of crashing.
 fn objective<'a>(x: &'a Matrix, y: &'a [f64]) -> impl FnMut(&[f64]) -> (f64, Vec<f64>) + 'a {
+    // X is fixed for the whole optimisation run, so the O(k²·d) pairwise
+    // distance matrix is computed once here, not per line-search probe.
+    let sq = kernel::squared_distances(x);
     move |logs: &[f64]| {
         // Hard box: outside |ln θ| ≤ 6 the parameters are clamped by
         // `from_log`, making the likelihood flat there. Reject such trial
@@ -49,7 +52,7 @@ fn objective<'a>(x: &'a Matrix, y: &'a [f64]) -> impl FnMut(&[f64]) -> (f64, Vec
             return (f64::INFINITY, vec![0.0; logs.len()]);
         }
         let hyper = Hyperparams::from_log(logs);
-        match loo::loo_value_and_log_gradient(x, y, &hyper) {
+        match loo::loo_value_and_log_gradient_from_sq(&sq, y, &hyper) {
             Some((value, grad)) => {
                 let prior: f64 = logs.iter().map(|s| LOG_PRIOR_WEIGHT * s * s).sum();
                 let g =

@@ -194,7 +194,18 @@ impl Device {
         let slots_mutex = Mutex::new(&mut slots);
         let workers = self.host_threads.min(blocks).max(1);
 
-        if blocks > 0 {
+        if workers == 1 {
+            // Nothing to gain from a scoped worker — single-block grid, or
+            // a single-core host where blocks serialise anyway. Run the
+            // grid inline on the calling thread: spawning a thread costs
+            // more than many of the tiny hot-path launches.
+            let mut guard = slots_mutex.lock();
+            for id in 0..blocks {
+                let mut ctx = BlockCtx::new(id, self.shared_capacity);
+                let result = kernel(&mut ctx);
+                guard[id] = Some((result, ctx.cost));
+            }
+        } else if blocks > 0 {
             crossbeam::thread::scope(|scope| {
                 for _ in 0..workers {
                     scope.spawn(|_| {

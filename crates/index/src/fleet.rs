@@ -18,6 +18,7 @@ use crate::group::{self, GroupBounds};
 use crate::search::{Neighbor, SearchOutput, SearchStats, SmilerIndex, ThresholdStrategy};
 use smiler_gpu::kselect;
 use smiler_gpu::Device;
+use std::sync::Arc;
 
 /// Scratch describing one (sensor, item-query) task in a batched phase.
 #[derive(Debug, Clone)]
@@ -183,33 +184,38 @@ pub fn fleet_search(
     let n = indexes.len() as f64;
     let total_sat = device.saturated_seconds() - total_sat0;
     let total_sim = device.elapsed_seconds() - total_sim0;
-    let mut outputs: Vec<SearchOutput> = indexes
+    let mut stats_list: Vec<SearchStats> = indexes
         .iter()
-        .map(|_| SearchOutput {
-            neighbors: Vec::new(),
-            stats: SearchStats {
-                verify_sim_seconds: verify_sim / n,
-                verify_saturated_seconds: verify_sat / n,
-                lb_sim_seconds: lb_sim / n,
-                lb_saturated_seconds: lb_sat / n,
-                total_sim_seconds: total_sim / n,
-                total_saturated_seconds: total_sat / n,
-                ..SearchStats::default()
-            },
+        .map(|_| SearchStats {
+            verify_sim_seconds: verify_sim / n,
+            verify_saturated_seconds: verify_sat / n,
+            lb_sim_seconds: lb_sim / n,
+            lb_saturated_seconds: lb_sat / n,
+            total_sim_seconds: total_sim / n,
+            total_saturated_seconds: total_sat / n,
+            ..SearchStats::default()
         })
         .collect();
+    let mut sensor_neighbors: Vec<Vec<Vec<Neighbor>>> =
+        indexes.iter().map(|_| Vec::new()).collect();
     for ((ti, task), pick) in tasks.iter().enumerate().zip(&picks) {
         let neighbors: Vec<Neighbor> = pick
             .iter()
             .map(|&i| Neighbor { start: verified[ti][i].0, distance: verified[ti][i].1 })
             .collect();
-        let out = &mut outputs[task.sensor];
-        out.neighbors.push(neighbors);
-        out.stats.candidates.push(lbw[ti].len());
-        out.stats.unfiltered.push(verified[ti].len());
+        sensor_neighbors[task.sensor].push(neighbors);
+        stats_list[task.sensor].candidates.push(lbw[ti].len());
+        stats_list[task.sensor].unfiltered.push(verified[ti].len());
     }
+    let outputs: Vec<SearchOutput> = sensor_neighbors
+        .into_iter()
+        .zip(stats_list)
+        .map(|(nb, stats)| SearchOutput { neighbors: Arc::new(nb), stats })
+        .collect();
+    // Sharing the `Arc` (instead of deep-cloning every neighbour list)
+    // installs the continuous-reuse state for free.
     for (index, out) in indexes.iter_mut().zip(&outputs) {
-        index.set_prev_neighbors(out.neighbors.clone());
+        index.set_prev_neighbors(Arc::clone(&out.neighbors));
     }
     outputs
 }
@@ -277,6 +283,7 @@ fn fleet_verify(
     let report = device.launch(blocks, |ctx| {
         let lo = ctx.block_id() * THREADS;
         let hi = (lo + THREADS).min(pairs.len());
+        let mut scratch = smiler_dtw::DtwScratch::new();
         let mut out = Vec::with_capacity(hi - lo);
         for &(ti, cand) in &pairs[lo..hi] {
             let t = &tasks[ti];
@@ -287,7 +294,12 @@ fn fleet_verify(
             ctx.read_global(2 * t.d as u64);
             ctx.flops(smiler_dtw::dtw_ops_estimate(t.d, rho));
             ctx.alloc_shared(2 * (2 * rho + 2) * 4).expect("matrix fits shared memory");
-            out.push(smiler_dtw::dtw_compressed(query, &series[cand..cand + t.d], rho));
+            out.push(smiler_dtw::dtw_compressed_with(
+                query,
+                &series[cand..cand + t.d],
+                rho,
+                &mut scratch,
+            ));
         }
         ctx.sync();
         out
@@ -336,7 +348,7 @@ mod tests {
             let expect = index.search(&device, max_ends[s]);
             let got = &fleet_out[s];
             assert_eq!(got.neighbors.len(), expect.neighbors.len());
-            for (gn, en) in got.neighbors.iter().zip(&expect.neighbors) {
+            for (gn, en) in got.neighbors.iter().zip(expect.neighbors.iter()) {
                 assert_eq!(gn.len(), en.len(), "sensor {s}");
                 for (g, e) in gn.iter().zip(en) {
                     assert!((g.distance - e.distance).abs() < 1e-9, "sensor {s}: {g:?} vs {e:?}");
@@ -360,7 +372,7 @@ mod tests {
             let fleet_out = fleet_search(&device, &mut refs, &max_ends);
             for (s, index) in solo.iter_mut().enumerate() {
                 let expect = index.search(&device, max_ends[s]);
-                for (gn, en) in fleet_out[s].neighbors.iter().zip(&expect.neighbors) {
+                for (gn, en) in fleet_out[s].neighbors.iter().zip(expect.neighbors.iter()) {
                     for (g, e) in gn.iter().zip(en) {
                         assert!((g.distance - e.distance).abs() < 1e-9, "step {step} sensor {s}");
                     }

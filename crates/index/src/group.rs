@@ -40,10 +40,22 @@ impl GroupBounds {
     /// [`BoundMode`] (Table 3 ablation): `Eq`/`Ec` alone or the enhanced
     /// `max` of both.
     pub fn mode_bounds(&self, i: usize, mode: BoundMode) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.mode_bounds_into(i, mode, &mut out);
+        out
+    }
+
+    /// [`GroupBounds::mode_bounds`] into a caller-owned buffer, so the
+    /// continuous search loop resolves its filter bounds without
+    /// allocating.
+    pub fn mode_bounds_into(&self, i: usize, mode: BoundMode, out: &mut Vec<f64>) {
+        out.clear();
         match mode {
-            BoundMode::Eq => self.eq[i].clone(),
-            BoundMode::Ec => self.ec[i].clone(),
-            BoundMode::En => self.eq[i].iter().zip(&self.ec[i]).map(|(&a, &b)| a.max(b)).collect(),
+            BoundMode::Eq => out.extend_from_slice(&self.eq[i]),
+            BoundMode::Ec => out.extend_from_slice(&self.ec[i]),
+            BoundMode::En => {
+                out.extend(self.eq[i].iter().zip(&self.ec[i]).map(|(&a, &b)| a.max(b)));
+            }
         }
     }
 

@@ -37,4 +37,5 @@ pub mod window;
 pub use fleet::fleet_search;
 pub use search::{
     BoundMode, IndexParams, Neighbor, SearchOutput, SearchStats, SmilerIndex, ThresholdStrategy,
+    VerifyMode,
 };

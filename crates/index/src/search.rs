@@ -12,7 +12,8 @@ use crate::group;
 use crate::window::WindowIndex;
 use smiler_gpu::kselect;
 use smiler_gpu::Device;
-use smiler_timeseries::Envelope;
+use smiler_timeseries::{Envelope, EnvelopeScratch};
+use std::sync::Arc;
 
 /// Parameters of the suffix kNN index (paper Table 2 defaults).
 #[derive(Debug, Clone)]
@@ -75,6 +76,22 @@ pub enum ThresholdStrategy {
     ExactKBest,
 }
 
+/// How candidates that survive the group-level filter are DTW-verified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyMode {
+    /// Verify every surviving candidate with a full banded DTW (the batched
+    /// compressed-matrix kernel). Simple, and the oracle the cascade is
+    /// tested against.
+    Batch,
+    /// Cascaded filter (default): candidates walk, in ascending order of
+    /// their group-level bound, through an O(1) first/last-point bound, then
+    /// the full `LB_Keogh` envelope bound, then an early-abandoning DTW —
+    /// each stage pruning against the *running* k-th-best verified distance.
+    /// Exact: a true k-nearest neighbour can never be pruned, because its
+    /// lower bounds and its DTW never exceed the running threshold.
+    Cascade,
+}
+
 /// One retrieved neighbour segment.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Neighbor {
@@ -114,10 +131,34 @@ pub struct SearchStats {
 #[derive(Debug, Clone)]
 pub struct SearchOutput {
     /// Per item query (ELV order): up to `k_max` neighbours sorted by
-    /// ascending DTW distance.
-    pub neighbors: Vec<Vec<Neighbor>>,
+    /// ascending DTW distance. Shared (`Arc`) with the index's
+    /// continuous-reuse state, so carrying an answer forward never copies
+    /// the neighbour lists.
+    pub neighbors: Arc<Vec<Vec<Neighbor>>>,
     /// Instrumentation.
     pub stats: SearchStats,
+}
+
+/// Reusable workspaces for the per-step search loop: the item query copy,
+/// its envelope (plus deque scratch), and the mode-resolved filter bounds.
+/// Owned by the index so the steady-state continuous search allocates
+/// nothing per step once the buffers have grown.
+#[derive(Debug, Default)]
+struct SearchScratch {
+    query: Vec<f64>,
+    query_env: Envelope,
+    env: EnvelopeScratch,
+    lbw: Vec<f64>,
+}
+
+/// Per-stage outcome counts of one cascaded verification pass, reported to
+/// the observability layer as `verify.cascade` counters.
+#[derive(Debug, Clone, Copy, Default)]
+struct CascadeCounts {
+    kim_pruned: u64,
+    keogh_pruned: u64,
+    dtw_abandoned: u64,
+    dtw_full: u64,
 }
 
 /// The per-sensor SMiLer index.
@@ -126,12 +167,14 @@ pub struct SmilerIndex {
     params: IndexParams,
     bound_mode: BoundMode,
     threshold: ThresholdStrategy,
+    verify_mode: VerifyMode,
     series: Vec<f64>,
     series_env: Envelope,
     windex: WindowIndex,
     /// Previous step's answer; start positions feed the continuous-reuse
     /// threshold (§4.3.3 method 2).
-    prev_neighbors: Option<Vec<Vec<Neighbor>>>,
+    prev_neighbors: Option<Arc<Vec<Vec<Neighbor>>>>,
+    scratch: SearchScratch,
 }
 
 impl SmilerIndex {
@@ -160,10 +203,12 @@ impl SmilerIndex {
             params,
             bound_mode: BoundMode::En,
             threshold: ThresholdStrategy::ExactKBest,
+            verify_mode: VerifyMode::Cascade,
             series,
             series_env,
             windex,
             prev_neighbors: None,
+            scratch: SearchScratch::default(),
         }
     }
 
@@ -176,6 +221,12 @@ impl SmilerIndex {
     /// Use a different threshold strategy.
     pub fn with_threshold(mut self, strategy: ThresholdStrategy) -> Self {
         self.threshold = strategy;
+        self
+    }
+
+    /// Use a different verification strategy.
+    pub fn with_verify_mode(mut self, mode: VerifyMode) -> Self {
+        self.verify_mode = mode;
         self
     }
 
@@ -192,6 +243,11 @@ impl SmilerIndex {
     /// The active threshold strategy.
     pub fn threshold(&self) -> ThresholdStrategy {
         self.threshold
+    }
+
+    /// The active verification strategy.
+    pub fn verify_mode(&self) -> VerifyMode {
+        self.verify_mode
     }
 
     /// Borrow the window-level index (used by the fleet-batched search).
@@ -211,7 +267,7 @@ impl SmilerIndex {
 
     /// Install the step's answer as the next continuous-reuse state (used
     /// by the fleet-batched search, mirroring what `search` does).
-    pub(crate) fn set_prev_neighbors(&mut self, neighbors: Vec<Vec<Neighbor>>) {
+    pub(crate) fn set_prev_neighbors(&mut self, neighbors: Arc<Vec<Vec<Neighbor>>>) {
         self.prev_neighbors = Some(neighbors);
     }
 
@@ -237,9 +293,18 @@ impl SmilerIndex {
         self.series.push(value);
         self.series_env.extend_to(&self.series);
         let d = self.params.d_master();
-        let query = self.series[self.series.len() - d..].to_vec();
-        let query_env = Envelope::compute(&query, self.params.rho);
-        self.windex.advance(device, &self.series, &self.series_env, &query, &query_env);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.query.clear();
+        scratch.query.extend_from_slice(&self.series[self.series.len() - d..]);
+        scratch.query_env.compute_into(&scratch.query, self.params.rho, &mut scratch.env);
+        self.windex.advance(
+            device,
+            &self.series,
+            &self.series_env,
+            &scratch.query,
+            &scratch.query_env,
+        );
+        self.scratch = scratch;
     }
 
     /// The current item query of length `d` (suffix of the history).
@@ -274,10 +339,14 @@ impl SmilerIndex {
 
         let mut neighbors: Vec<Vec<Neighbor>> = Vec::with_capacity(params.lengths.len());
         let mut stats = SearchStats { lb_sim_seconds, lb_saturated_seconds, ..Default::default() };
+        let mut scratch = std::mem::take(&mut self.scratch);
 
         for (i, &d) in params.lengths.iter().enumerate() {
-            let query = self.item_query(d).to_vec();
-            let lbw = bounds.mode_bounds(i, self.bound_mode);
+            scratch.query.clear();
+            scratch.query.extend_from_slice(self.item_query(d));
+            bounds.mode_bounds_into(i, self.bound_mode, &mut scratch.lbw);
+            let query = &scratch.query;
+            let lbw = &scratch.lbw;
             stats.candidates.push(lbw.len());
             if lbw.is_empty() {
                 neighbors.push(Vec::new());
@@ -289,7 +358,7 @@ impl SmilerIndex {
             let mut verified: Vec<(usize, f64)> = Vec::new();
             let to_verify = {
                 let _filter_span = smiler_obs::span("filter");
-                let tau = self.pick_threshold(device, i, d, &query, &lbw, k, &mut verified);
+                let tau = self.pick_threshold(device, i, d, query, lbw, k, &mut verified);
 
                 // Phase 2b: filter by τ. A pure scan — kept as its own launch
                 // so filtering and verification never mix in one kernel
@@ -305,25 +374,68 @@ impl SmilerIndex {
                 filter.results.into_iter().next().expect("one filter block")
             };
 
-            // Phase 2c: verification with the compressed-matrix DTW kernel.
+            // Phase 2c: verification. `survived` counts the candidates the
+            // group-level filter let through (probes included) — the
+            // "number" column of Table 3 — in both verify modes; the
+            // cascade's further pruning is reported separately.
+            let survived = verified.len() + to_verify.len();
             let verify_clock = device.elapsed_seconds();
             let verify_sat = device.saturated_seconds();
-            let distances = {
+            {
                 let _verify_span = smiler_obs::span("verify");
-                verify_candidates(device, &self.series, &query, rho, &to_verify)
-            };
+                match self.verify_mode {
+                    VerifyMode::Batch => {
+                        let distances =
+                            verify_candidates(device, &self.series, query, rho, &to_verify);
+                        verified.extend(to_verify.iter().copied().zip(distances));
+                    }
+                    VerifyMode::Cascade => {
+                        scratch.query_env.compute_into(&scratch.query, rho, &mut scratch.env);
+                        // Tight bounds first: candidates are visited in
+                        // ascending lower-bound order so the running k-th
+                        // best distance drops as fast as possible.
+                        let mut order = to_verify;
+                        order.sort_unstable_by(|&a, &b| {
+                            lbw[a].partial_cmp(&lbw[b]).expect("bounds are finite")
+                        });
+                        let (found, counts) = cascade_verify(
+                            device,
+                            &self.series,
+                            query,
+                            &scratch.query_env,
+                            rho,
+                            &order,
+                            &verified,
+                            k,
+                        );
+                        verified.extend(found);
+                        if smiler_obs::enabled() {
+                            smiler_obs::count("verify.cascade", "kim_pruned", counts.kim_pruned);
+                            smiler_obs::count(
+                                "verify.cascade",
+                                "keogh_pruned",
+                                counts.keogh_pruned,
+                            );
+                            smiler_obs::count(
+                                "verify.cascade",
+                                "dtw_abandoned",
+                                counts.dtw_abandoned,
+                            );
+                            smiler_obs::count("verify.cascade", "dtw_full", counts.dtw_full);
+                        }
+                    }
+                }
+            }
             stats.verify_sim_seconds += device.elapsed_seconds() - verify_clock;
             stats.verify_saturated_seconds += device.saturated_seconds() - verify_sat;
-            verified.extend(to_verify.iter().copied().zip(distances));
-            stats.unfiltered.push(verified.len());
+            stats.unfiltered.push(survived);
             if smiler_obs::enabled() {
                 let label = format!("d={d}");
                 let cand = lbw.len();
-                let kept = verified.len();
                 smiler_obs::count("search.candidates", &label, cand as u64);
-                smiler_obs::count("search.verified", &label, kept as u64);
+                smiler_obs::count("search.verified", &label, survived as u64);
                 if cand > 0 {
-                    let pruned = cand.saturating_sub(kept) as f64;
+                    let pruned = cand.saturating_sub(survived) as f64;
                     smiler_obs::observe("search.pruning_ratio", &label, pruned / cand as f64);
                 }
             }
@@ -345,7 +457,9 @@ impl SmilerIndex {
 
         stats.total_sim_seconds = device.elapsed_seconds() - start_clock;
         stats.total_saturated_seconds = device.saturated_seconds() - start_saturated;
-        self.prev_neighbors = Some(neighbors.clone());
+        self.scratch = scratch;
+        let neighbors = Arc::new(neighbors);
+        self.prev_neighbors = Some(Arc::clone(&neighbors));
         SearchOutput { neighbors, stats }
     }
 
@@ -425,17 +539,116 @@ pub(crate) fn verify_candidates(
             .expect("compressed matrix must fit shared memory");
         ctx.read_global(d as u64); // stage the query once per block
         let ops = smiler_dtw::dtw_ops_estimate(d, rho);
+        let mut scratch = smiler_dtw::DtwScratch::with_rho(rho);
         let mut out = Vec::with_capacity(lanes);
         for &t in &starts[lo..hi] {
             ctx.read_global(d as u64);
             ctx.flops(ops);
             ctx.access_shared(ops / 2);
-            out.push(smiler_dtw::dtw_compressed(query, &series[t..t + d], rho));
+            out.push(smiler_dtw::dtw_compressed_with(query, &series[t..t + d], rho, &mut scratch));
         }
         ctx.sync();
         out
     });
     report.results.into_iter().flatten().collect()
+}
+
+/// Cascaded verification (one block): each candidate, visited in ascending
+/// group-bound order, passes through an O(1) first/last-point bound, the
+/// full `LB_Keogh` envelope bound, and finally an early-abandoning DTW —
+/// every stage pruning against the *running* k-th-best verified distance τ.
+///
+/// Exactness: τ is the k-th smallest among distances verified so far, which
+/// is always ≥ the k-th smallest over the whole candidate set; a true
+/// k-nearest neighbour therefore satisfies `lb ≤ dtw ≤ τ` at whatever point
+/// it is visited, survives every stage (the early-abandon keeps `dtw == τ`
+/// inclusively), and receives its exact distance.
+///
+/// Only the `EQ` direction of `LB_EN` (the candidate walked against the
+/// *query's* envelope, which is staged in shared memory) is used here. The
+/// `EC` direction would fetch the candidate's 2d envelope words from global
+/// memory — on a throughput-bound device that traffic rivals the DTW it
+/// tries to avoid, and the filter already spent the EC information through
+/// `ΣLBEC` in the group-level bound. The candidate itself is the same read
+/// the DTW needs, staged into shared memory by stage 2, so a candidate that
+/// reaches stage 3 costs no further global reads.
+///
+/// `seeds` are the already-verified threshold probes; their distances seed
+/// the running top-k. Returns the `(start, distance)` pairs that completed
+/// verification plus per-stage counts.
+#[allow(clippy::too_many_arguments)] // mirrors the cascade's stage inputs
+fn cascade_verify(
+    device: &Device,
+    series: &[f64],
+    query: &[f64],
+    query_env: &Envelope,
+    rho: usize,
+    starts: &[usize],
+    seeds: &[(usize, f64)],
+    k: usize,
+) -> (Vec<(usize, f64)>, CascadeCounts) {
+    if starts.is_empty() {
+        return (Vec::new(), CascadeCounts::default());
+    }
+    let d = query.len();
+    let report = device.launch(1, |ctx| {
+        // Query, its envelope, the staged candidate and one compressed
+        // matrix live in shared memory. The cascade is sequential by
+        // design: each verdict tightens the threshold for every later
+        // candidate.
+        let matrix_bytes = 2 * (2 * rho + 2) * 4;
+        ctx.alloc_shared(4 * d * 4 + matrix_bytes)
+            .expect("query, envelope, candidate and matrix must fit shared memory");
+        ctx.read_global(3 * d as u64); // stage query + envelope once
+        let mut scratch = smiler_dtw::DtwScratch::with_rho(rho);
+        let mut best: Vec<f64> = seeds.iter().map(|&(_, dist)| dist).collect();
+        best.sort_unstable_by(|a, b| a.partial_cmp(b).expect("distances are finite"));
+        best.truncate(k);
+        let mut counts = CascadeCounts::default();
+        let mut out: Vec<(usize, f64)> = Vec::new();
+        for &t in starts {
+            let tau = if best.len() >= k { best[k - 1] } else { f64::INFINITY };
+            let cand = &series[t..t + d];
+            // Stage 1: O(1) first/last-point bound.
+            ctx.read_global(2);
+            ctx.flops(4);
+            if smiler_dtw::lb_kim_fl(query, cand) > tau {
+                counts.kim_pruned += 1;
+                continue;
+            }
+            // Stage 2: envelope bound — the candidate against the query's
+            // envelope. Fetches (and stages) the candidate, the only
+            // per-candidate global traffic past this point.
+            ctx.read_global(d as u64);
+            ctx.flops(3 * d as u64);
+            let lb = smiler_dtw::lb_keogh(cand, &query_env.upper, &query_env.lower);
+            if lb > tau {
+                counts.keogh_pruned += 1;
+                continue;
+            }
+            // Stage 3: early-abandoning DTW against τ, on the staged
+            // candidate.
+            let (dist, cells) =
+                smiler_dtw::dtw_early_abandon_counted_with(query, cand, rho, tau, &mut scratch);
+            ctx.flops(cells * 6);
+            ctx.access_shared(cells * 3);
+            match dist {
+                Some(dist) => {
+                    counts.dtw_full += 1;
+                    out.push((t, dist));
+                    let pos = best.partition_point(|&b| b <= dist);
+                    if pos < k {
+                        best.insert(pos, dist);
+                        best.truncate(k);
+                    }
+                }
+                None => counts.dtw_abandoned += 1,
+            }
+        }
+        ctx.sync();
+        (out, counts)
+    });
+    report.results.into_iter().next().expect("one cascade block")
 }
 
 #[cfg(test)]
@@ -591,6 +804,68 @@ mod tests {
         // candidates (up to the k threshold probes).
         assert!(counts[2] <= counts[0] + params.k_max);
         assert!(counts[2] <= counts[1] + params.k_max);
+    }
+
+    #[test]
+    fn cascade_matches_batch_verification() {
+        let device = Device::default_gpu();
+        for strategy in [ThresholdStrategy::ExactKBest, ThresholdStrategy::PaperKthLb] {
+            let mut series = make_series(320, 9);
+            let params = small_params();
+            let mut batch = SmilerIndex::build(&device, series.clone(), params.clone())
+                .with_threshold(strategy)
+                .with_verify_mode(VerifyMode::Batch);
+            let mut cascade = SmilerIndex::build(&device, series.clone(), params.clone())
+                .with_threshold(strategy);
+            assert_eq!(cascade.verify_mode(), VerifyMode::Cascade);
+
+            let compare = |b: &SearchOutput, c: &SearchOutput, step: usize| {
+                assert_eq!(b.stats.candidates, c.stats.candidates, "step {step}");
+                assert_eq!(b.stats.unfiltered, c.stats.unfiltered, "step {step}");
+                for (i, (bn, cn)) in b.neighbors.iter().zip(c.neighbors.iter()).enumerate() {
+                    assert_eq!(bn.len(), cn.len(), "step {step} item {i}");
+                    for (x, y) in bn.iter().zip(cn) {
+                        assert_eq!(x.start, y.start, "step {step} item {i}");
+                        assert!(
+                            (x.distance - y.distance).abs() < 1e-9,
+                            "step {step} item {i}: {x:?} vs {y:?}"
+                        );
+                    }
+                }
+            };
+            let max_end = series.len() - 4;
+            compare(&batch.search(&device, max_end), &cascade.search(&device, max_end), 0);
+            // Continuous steps keep the two modes' reuse states in lockstep.
+            for (step, &v) in make_series(8, 21).iter().enumerate() {
+                series.push(v);
+                batch.advance(&device, v);
+                cascade.advance(&device, v);
+                let max_end = series.len() - 4;
+                compare(
+                    &batch.search(&device, max_end),
+                    &cascade.search(&device, max_end),
+                    step + 1,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cascade_verifies_cheaper_than_batch() {
+        let device = Device::default_gpu();
+        let series = make_series(600, 4);
+        let params = IndexParams { rho: 3, omega: 4, lengths: vec![16], k_max: 5 };
+        let mut batch = SmilerIndex::build(&device, series.clone(), params.clone())
+            .with_verify_mode(VerifyMode::Batch);
+        let mut cascade = SmilerIndex::build(&device, series, params);
+        let batch_out = batch.search(&device, 590);
+        let cascade_out = cascade.search(&device, 590);
+        assert!(
+            cascade_out.stats.verify_sim_seconds < batch_out.stats.verify_sim_seconds,
+            "cascade {} s not cheaper than batch {} s",
+            cascade_out.stats.verify_sim_seconds,
+            batch_out.stats.verify_sim_seconds
+        );
     }
 
     #[test]

@@ -137,18 +137,35 @@ impl Cholesky {
     /// # Panics
     /// Panics if `b.len() != self.dim()`.
     pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
-        let n = self.dim();
-        assert_eq!(b.len(), n, "solve_lower dimension mismatch");
-        let mut x = vec![0.0; n];
+        assert_eq!(b.len(), self.dim(), "solve_lower dimension mismatch");
+        let mut x = b.to_vec();
+        self.solve_lower_in_place(&mut x);
+        x
+    }
+
+    /// Forward substitution in place: on entry `x` holds `b`, on exit the
+    /// solution of `L x = b`.
+    ///
+    /// `x` may be *shorter* than the factor: a `k`-length slice solves
+    /// against the leading principal `k×k` block of `L`, which is exactly
+    /// the Cholesky factor of the leading principal `k×k` submatrix of `A`
+    /// — the shared-prefix property the GP ensemble exploits.
+    ///
+    /// # Panics
+    /// Panics if `x.len() > self.dim()`.
+    pub fn solve_lower_in_place(&self, x: &mut [f64]) {
+        let n = x.len();
+        assert!(n <= self.dim(), "solve_lower_in_place dimension mismatch");
         for i in 0..n {
-            let mut sum = b[i];
+            // x[i] still holds b[i] here; the subtraction order matches the
+            // allocating solver bit for bit.
+            let mut sum = x[i];
             let row = self.l.row(i);
             for k in 0..i {
                 sum -= row[k] * x[k];
             }
             x[i] = sum / row[i];
         }
-        x
     }
 
     /// Solve `Lᵀ x = b` (backward substitution).
@@ -156,22 +173,45 @@ impl Cholesky {
     /// # Panics
     /// Panics if `b.len() != self.dim()`.
     pub fn solve_upper(&self, b: &[f64]) -> Vec<f64> {
-        let n = self.dim();
-        assert_eq!(b.len(), n, "solve_upper dimension mismatch");
-        let mut x = vec![0.0; n];
+        assert_eq!(b.len(), self.dim(), "solve_upper dimension mismatch");
+        let mut x = b.to_vec();
+        self.solve_upper_in_place(&mut x);
+        x
+    }
+
+    /// Backward substitution in place: on entry `x` holds `b`, on exit the
+    /// solution of `Lᵀ x = b`. As with [`Cholesky::solve_lower_in_place`], a
+    /// shorter slice solves against the leading principal block.
+    ///
+    /// # Panics
+    /// Panics if `x.len() > self.dim()`.
+    pub fn solve_upper_in_place(&self, x: &mut [f64]) {
+        let n = x.len();
+        assert!(n <= self.dim(), "solve_upper_in_place dimension mismatch");
         for i in (0..n).rev() {
-            let mut sum = b[i];
+            let mut sum = x[i];
             for k in i + 1..n {
                 sum -= self.l[(k, i)] * x[k];
             }
             x[i] = sum / self.l[(i, i)];
         }
-        x
     }
 
     /// Solve `A x = b` where `A = L Lᵀ`.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
-        self.solve_upper(&self.solve_lower(b))
+        let mut x = b.to_vec();
+        self.solve_in_place(&mut x);
+        x
+    }
+
+    /// Solve `A x = b` in place (forward then backward substitution). A
+    /// shorter slice solves against the leading principal block of `A`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() > self.dim()`.
+    pub fn solve_in_place(&self, x: &mut [f64]) {
+        self.solve_lower_in_place(x);
+        self.solve_upper_in_place(x);
     }
 
     /// Solve `A X = B` column by column.
@@ -212,6 +252,17 @@ impl Cholesky {
     pub fn quad_form(&self, b: &[f64]) -> f64 {
         let z = self.solve_lower(b);
         z.iter().map(|v| v * v).sum()
+    }
+
+    /// [`Cholesky::quad_form`] scribbling over a caller-owned buffer that
+    /// holds `b` on entry — no allocation. A shorter slice evaluates the
+    /// quadratic form against the leading principal block of `A`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() > self.dim()`.
+    pub fn quad_form_in_place(&self, x: &mut [f64]) -> f64 {
+        self.solve_lower_in_place(x);
+        x.iter().map(|v| v * v).sum()
     }
 }
 
@@ -323,6 +374,57 @@ mod tests {
         let mut a = Matrix::identity(2);
         a[(1, 1)] = -100.0;
         assert!(Cholesky::decompose_with_jitter(&a, 1e-10, 1e-6).is_err());
+    }
+
+    #[test]
+    fn in_place_solves_match_allocating() {
+        let a = spd(9, 11);
+        let c = Cholesky::decompose(&a).unwrap();
+        let b: Vec<f64> = (0..9).map(|i| (i as f64 * 0.7).cos()).collect();
+        let mut x = b.clone();
+        c.solve_lower_in_place(&mut x);
+        assert_eq!(x, c.solve_lower(&b), "forward substitution diverged");
+        let mut x = b.clone();
+        c.solve_upper_in_place(&mut x);
+        assert_eq!(x, c.solve_upper(&b), "backward substitution diverged");
+        let mut x = b.clone();
+        c.solve_in_place(&mut x);
+        assert_eq!(x, c.solve(&b), "full solve diverged");
+        let mut x = b.clone();
+        assert_eq!(c.quad_form_in_place(&mut x), c.quad_form(&b));
+    }
+
+    #[test]
+    fn leading_block_is_factor_of_principal_submatrix() {
+        // The key invariant behind the shared-prefix GP: rows 0..k of L
+        // depend only on the leading k×k block of A, so the truncated
+        // factor IS the factor of the principal submatrix — bit for bit.
+        let a = spd(10, 12);
+        let full = Cholesky::decompose(&a).unwrap();
+        for k in 1..=10usize {
+            let sub = Matrix::from_fn(k, k, |i, j| a[(i, j)]);
+            let c_sub = Cholesky::decompose(&sub).unwrap();
+            for i in 0..k {
+                for j in 0..=i {
+                    assert_eq!(
+                        full.factor()[(i, j)],
+                        c_sub.factor()[(i, j)],
+                        "L[{i}][{j}] differs at prefix {k}"
+                    );
+                }
+            }
+            // Prefix solves through the full factor match the submatrix.
+            let b: Vec<f64> = (0..k).map(|i| (i as f64) - 1.5).collect();
+            let mut x = b.clone();
+            full.solve_in_place(&mut x);
+            assert_eq!(x, c_sub.solve(&b), "prefix solve diverged at k={k}");
+            let mut x = b.clone();
+            assert_eq!(
+                full.quad_form_in_place(&mut x),
+                c_sub.quad_form(&b),
+                "prefix quad form diverged at k={k}"
+            );
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use std::collections::VecDeque;
 
 /// Upper/lower DTW envelope of a series for a fixed warping width.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Envelope {
     rho: usize,
     /// `U_i = max_{|r|≤ρ} c_{i+r}` (indices clamped to the series).
@@ -21,18 +21,49 @@ pub struct Envelope {
     pub lower: Vec<f64>,
 }
 
+/// Reusable deque workspace for [`Envelope::compute_into`], so the
+/// continuous-query loop recomputes query envelopes without allocating.
+#[derive(Debug, Clone, Default)]
+pub struct EnvelopeScratch {
+    maxq: VecDeque<usize>,
+    minq: VecDeque<usize>,
+}
+
+impl EnvelopeScratch {
+    /// An empty scratch; grows on first use.
+    pub fn new() -> Self {
+        EnvelopeScratch::default()
+    }
+}
+
 impl Envelope {
     /// Compute the envelope of `values` with warping width `rho`.
     pub fn compute(values: &[f64], rho: usize) -> Self {
+        let mut env = Envelope { rho, upper: Vec::new(), lower: Vec::new() };
+        env.compute_into(values, rho, &mut EnvelopeScratch::new());
+        env
+    }
+
+    /// Recompute this envelope in place from `values` with width `rho`,
+    /// reusing both the envelope's own buffers and the caller's
+    /// [`EnvelopeScratch`] — zero allocations once buffers have grown.
+    pub fn compute_into(&mut self, values: &[f64], rho: usize, scratch: &mut EnvelopeScratch) {
         smiler_obs::count("envelope.computed", "", 1);
         let n = values.len();
-        let mut upper = vec![0.0; n];
-        let mut lower = vec![0.0; n];
+        self.rho = rho;
+        self.upper.clear();
+        self.upper.resize(n, 0.0);
+        self.lower.clear();
+        self.lower.resize(n, 0.0);
+        let upper = &mut self.upper;
+        let lower = &mut self.lower;
         // Monotonic deques of indices: `maxq` non-increasing, `minq`
         // non-decreasing. When the centre `i` is emitted the deques hold
         // exactly the window [i-ρ, min(i+ρ, n-1)].
-        let mut maxq: VecDeque<usize> = VecDeque::new();
-        let mut minq: VecDeque<usize> = VecDeque::new();
+        let maxq = &mut scratch.maxq;
+        let minq = &mut scratch.minq;
+        maxq.clear();
+        minq.clear();
         for j in 0..n + rho {
             if j < n {
                 while maxq.back().is_some_and(|&b| values[b] <= values[j]) {
@@ -60,7 +91,6 @@ impl Envelope {
                 lower[i] = values[*minq.front().expect("window never empty")];
             }
         }
-        Envelope { rho, upper, lower }
     }
 
     /// Warping width this envelope was computed with.
@@ -193,6 +223,24 @@ mod tests {
             let fast = Envelope::compute(&values, rho);
             let slow = envelope_naive(&values, rho);
             prop_assert_eq!(fast, slow);
+        }
+
+        #[test]
+        fn compute_into_with_reused_scratch_matches_fresh(
+            series in prop::collection::vec(
+                prop::collection::vec(-100.0f64..100.0, 0..120),
+                1..5,
+            ),
+            rho in 0usize..12,
+        ) {
+            // One envelope + scratch reused across different inputs must
+            // match a fresh computation every time.
+            let mut env = Envelope::compute(&[0.0; 4], 1);
+            let mut scratch = EnvelopeScratch::new();
+            for values in &series {
+                env.compute_into(values, rho, &mut scratch);
+                prop_assert_eq!(&env, &Envelope::compute(values, rho));
+            }
         }
 
         #[test]

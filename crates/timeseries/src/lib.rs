@@ -25,6 +25,6 @@ pub mod normalize;
 pub mod series;
 pub mod synthetic;
 
-pub use envelope::Envelope;
+pub use envelope::{Envelope, EnvelopeScratch};
 pub use series::{SegmentRef, TimeSeries};
 pub use synthetic::{SensorDataset, SyntheticSpec};

@@ -1,0 +1,99 @@
+//! Numeric equivalence of the optimised hot paths against their allocating
+//! / batch oracles, at the paper's default scale (`d = 96`, `ρ = 8`):
+//!
+//! * workspace DTW variants vs. the allocating entry points,
+//! * the shared-prefix GP factorisation vs. independent per-k fits,
+//! * cascaded verification vs. batch verification — identical kNN sets
+//!   across continuous steps.
+
+use smiler_dtw::DtwScratch;
+use smiler_gp::{GpScratch, Hyperparams, PrefixGp};
+use smiler_gpu::Device;
+use smiler_index::{IndexParams, SmilerIndex, ThresholdStrategy, VerifyMode};
+use smiler_linalg::Matrix;
+
+fn pseudo_series(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    (0..n)
+        .map(|i| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (i as f64 * 0.11).sin() * 1.5 + (state % 1000) as f64 / 700.0
+        })
+        .collect()
+}
+
+#[test]
+fn workspace_dtw_matches_allocating_oracle() {
+    let series = pseudo_series(600, 5);
+    let d = 96;
+    let rho = 8;
+    let query = &series[series.len() - d..];
+    let mut scratch = DtwScratch::new();
+    for t in (0..series.len() - d).step_by(11) {
+        let cand = &series[t..t + d];
+        let fresh = smiler_dtw::dtw_compressed(query, cand, rho);
+        let reused = smiler_dtw::dtw_compressed_with(query, cand, rho, &mut scratch);
+        assert_eq!(fresh, reused, "workspace DTW diverged at t={t}");
+        let abandon = smiler_dtw::dtw_early_abandon_with(query, cand, rho, fresh, &mut scratch);
+        assert_eq!(abandon, Some(fresh), "inclusive threshold must keep the exact distance");
+    }
+}
+
+#[test]
+fn prefix_gp_matches_independent_fits() {
+    let k_max = 32;
+    let d = 24;
+    let x = Matrix::from_fn(k_max, d, |i, j| ((i * d + j) as f64 * 0.29).sin() * 1.3);
+    let y: Vec<f64> = (0..k_max).map(|i| (i as f64 * 0.43).cos()).collect();
+    let x0: Vec<f64> = (0..d).map(|j| (j as f64 * 0.17).cos() * 0.8).collect();
+    let pg = PrefixGp::fit(x, Hyperparams::new(1.0, 1.5, 0.12)).expect("fit");
+    assert!(pg.exact());
+    let mut scratch = GpScratch::new();
+    for k in 1..=k_max {
+        let mean_k = y[..k].iter().sum::<f64>() / k as f64;
+        let centred: Vec<f64> = y[..k].iter().map(|v| v - mean_k).collect();
+        let (mean, var) = pg.predict_prefix(k, &centred, &x0, &mut scratch);
+        let (o_mean, o_var) = pg.oracle_fit(k, &centred).expect("oracle fit").predict(&x0);
+        assert!((mean - o_mean).abs() < 1e-9, "k={k}: mean {mean} vs {o_mean}");
+        assert!((var - o_var).abs() < 1e-9, "k={k}: var {var} vs {o_var}");
+    }
+}
+
+#[test]
+fn cascade_and_batch_return_identical_knn_sets_at_paper_scale() {
+    let device = Device::default_gpu();
+    let params = IndexParams::default(); // d = 96, ρ = 8, k = 32
+    for strategy in [ThresholdStrategy::ExactKBest, ThresholdStrategy::PaperKthLb] {
+        let mut series = pseudo_series(700, 11);
+        let mut batch = SmilerIndex::build(&device, series.clone(), params.clone())
+            .with_threshold(strategy)
+            .with_verify_mode(VerifyMode::Batch);
+        let mut cascade =
+            SmilerIndex::build(&device, series.clone(), params.clone()).with_threshold(strategy);
+        for step in 0..6 {
+            if step > 0 {
+                let v = (step as f64 * 0.37).sin() + 0.1 * step as f64;
+                series.push(v);
+                batch.advance(&device, v);
+                cascade.advance(&device, v);
+            }
+            let max_end = series.len() - 5;
+            let b = batch.search(&device, max_end);
+            let c = cascade.search(&device, max_end);
+            assert_eq!(b.stats.candidates, c.stats.candidates, "step {step}");
+            assert_eq!(b.stats.unfiltered, c.stats.unfiltered, "step {step}");
+            for (i, (bn, cn)) in b.neighbors.iter().zip(c.neighbors.iter()).enumerate() {
+                assert_eq!(bn.len(), cn.len(), "step {step} item {i}");
+                for (x, y) in bn.iter().zip(cn) {
+                    assert_eq!(x.start, y.start, "step {step} item {i}");
+                    assert!(
+                        (x.distance - y.distance).abs() < 1e-9,
+                        "step {step} item {i}: {x:?} vs {y:?}"
+                    );
+                }
+            }
+        }
+    }
+}
