@@ -14,12 +14,39 @@ fi
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+# The serving request path must stay panic-free: no .unwrap()/.expect(
+# outside #[cfg(test)] in the files the fallible API flows through.
+echo "==> panic-free request path (no unwrap/expect in serving files)"
+GATED_FILES=(
+    crates/core/src/system.rs
+    crates/core/src/sensor.rs
+    crates/core/src/predictor.rs
+    crates/index/src/search.rs
+)
+GATE_FAIL=0
+for f in "${GATED_FILES[@]}"; do
+    HITS=$(awk '/^#\[cfg\(test\)\]/{exit} {print NR": "$0}' "$f" \
+        | grep -F -e '.unwrap()' -e '.expect(' || true)
+    if [[ -n "$HITS" ]]; then
+        echo "ERROR: panicking call in request path $f:"
+        echo "$HITS"
+        GATE_FAIL=1
+    fi
+done
+if [[ "$GATE_FAIL" == "1" ]]; then
+    echo "==> ci.sh: FAILED (use typed errors or infallible fallbacks in the request path)"
+    exit 1
+fi
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 if [[ "$QUICK" == "1" ]]; then
     echo "==> cargo test --workspace (lib + bins only)"
     cargo test --workspace --lib --bins
+
+    echo "==> cargo test --test fault_tolerance"
+    cargo test -p smiler-core --test fault_tolerance
 else
     echo "==> cargo build --workspace --release"
     cargo build --workspace --release

@@ -8,7 +8,7 @@ use smiler_baselines::linear::{self, LinearConfig};
 use smiler_baselines::SeriesPredictor;
 use smiler_core::eval::{evaluate, EvalConfig};
 use smiler_core::sensor::{SmilerConfig, SmilerForecaster};
-use smiler_core::{PredictorKind, SensorPredictor};
+use smiler_core::{PredictorKind, RequestPolicy, SensorPredictor};
 use smiler_gpu::Device;
 use smiler_timeseries::io;
 use smiler_timeseries::normalize::ZNorm;
@@ -58,6 +58,7 @@ smiler — semi-lazy time series prediction for sensors (SIGMOD'15 reproduction)
 USAGE:
   smiler forecast --input <file> [--column <name>] [--horizons 1,6]
                   [--predictor gp|ar] [--warmup 16] [--interval]
+                  [--deadline-ms <ms>]
   smiler evaluate --input <file> [--column <name>] [--steps 50]
                   [--horizons 1,5,10] [--models smiler-gp,smiler-ar,lazyknn,...]
   smiler generate --dataset road|mall|net [--days 14] [--seed 7]
@@ -66,8 +67,17 @@ USAGE:
 Series files are one-value-per-line or CSV (use --column for a named CSV
 column). Forecasts are printed in the input's units.
 
+SERVING (forecast):
+  --deadline-ms <ms>     per-request latency budget; requests degrade down
+                         the ladder (full ensemble → cached hyperparameters
+                         → aggregation → last-value hold) instead of blowing
+                         the budget. Each forecast line reports the rung
+                         that served it.
+
 OBSERVABILITY (any command):
-  --metrics-out <path>   write end-of-run metrics as JSON lines
+  --metrics-out <path>   write end-of-run metrics as JSON lines (includes
+                         the health.* serving counters: degradation rungs,
+                         deadline misses, GP failures)
   --trace-out <path>     write the event/span trace as JSON lines
   --quiet                suppress the human-readable summary table
 ";
@@ -159,23 +169,52 @@ fn forecast(args: &Args) -> Result<String, CliError> {
         predictor.observe(v);
     }
 
+    let deadline_ms: Option<u64> = match args.get("deadline-ms") {
+        Some(s) => {
+            Some(s.parse().map_err(|_| CliError::Other(format!("invalid --deadline-ms {s:?}")))?)
+        }
+        None => None,
+    };
+    let policy = match deadline_ms {
+        Some(ms) => RequestPolicy::with_deadline(std::time::Duration::from_millis(ms)),
+        None => RequestPolicy::default(),
+    };
+
     let mut out = String::new();
     let _ = writeln!(out, "forecasts from t = {} ({} observations read):", raw.len(), raw.len());
     let want_interval = args.switch("interval");
+    let mut missed = 0usize;
     for &h in &horizons {
-        let (mean_z, var_z) = predictor.predict(h);
-        let mean = znorm.invert(mean_z);
-        let sd = znorm.invert_variance(var_z).max(0.0).sqrt();
+        let pred = predictor
+            .try_predict_with(h, &policy)
+            .map_err(|e| CliError::Other(format!("prediction failed: {e}")))?;
+        let mean = znorm.invert(pred.mean);
+        let sd = znorm.invert_variance(pred.variance).max(0.0).sqrt();
         if want_interval {
-            let _ = writeln!(
+            let _ = write!(
                 out,
                 "t+{h:<4} {mean:12.4}   95% [{:.4}, {:.4}]",
                 mean - 1.96 * sd,
                 mean + 1.96 * sd
             );
         } else {
-            let _ = writeln!(out, "t+{h:<4} {mean:12.4}");
+            let _ = write!(out, "t+{h:<4} {mean:12.4}");
         }
+        if deadline_ms.is_some() {
+            let _ = write!(out, "   served={}", pred.level.as_str());
+            if pred.deadline_missed {
+                missed += 1;
+                let _ = write!(out, " (deadline missed)");
+            }
+        }
+        out.push('\n');
+    }
+    if let Some(ms) = deadline_ms {
+        let _ = writeln!(
+            out,
+            "serving health: deadline {ms} ms, {missed}/{} deadline misses",
+            horizons.len()
+        );
     }
     Ok(out)
 }
@@ -385,6 +424,7 @@ mod tests {
             "gp.train",
             "ensemble.update",
             "search.pruning_ratio",
+            "health.predictions",
         ] {
             assert!(m.contains(needle), "metrics file missing {needle}:\n{m}");
         }
@@ -394,6 +434,60 @@ mod tests {
         let _ = std::fs::remove_file(path);
         let _ = std::fs::remove_file(metrics);
         let _ = std::fs::remove_file(trace);
+    }
+
+    #[test]
+    fn forecast_with_deadline_reports_serving_rung() {
+        let path = write_temp_series("smiler_cli_deadline.csv", 400);
+        // A generous budget: the full pipeline fits comfortably.
+        let s = run(&args(&[
+            "forecast",
+            "--input",
+            path.to_str().unwrap(),
+            "--predictor",
+            "ar",
+            "--horizons",
+            "1",
+            "--deadline-ms",
+            "10000",
+        ]))
+        .unwrap();
+        assert!(s.contains("served=full_ensemble"), "{s}");
+        assert!(s.contains("serving health: deadline 10000 ms"), "{s}");
+        // A zero budget: every request degrades to the last-value hold —
+        // and still produces a finite raw-unit forecast.
+        let s = run(&args(&[
+            "forecast",
+            "--input",
+            path.to_str().unwrap(),
+            "--predictor",
+            "ar",
+            "--horizons",
+            "1",
+            "--deadline-ms",
+            "0",
+        ]))
+        .unwrap();
+        assert!(s.contains("served=last_value"), "{s}");
+        let value: f64 = s
+            .lines()
+            .find(|l| l.starts_with("t+1"))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(value.is_finite());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn bad_deadline_is_reported() {
+        let path = write_temp_series("smiler_cli_baddl.csv", 400);
+        let err =
+            run(&args(&["forecast", "--input", path.to_str().unwrap(), "--deadline-ms", "soon"]))
+                .unwrap_err();
+        assert!(err.to_string().contains("invalid --deadline-ms"));
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

@@ -42,6 +42,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod degrade;
 pub mod ensemble;
 pub mod eval;
 pub mod predictor;
@@ -50,9 +51,10 @@ pub mod snapshot;
 pub mod stream;
 pub mod system;
 
+pub use degrade::{DegradationLevel, ErrorState, PredictError, Prediction, RequestPolicy};
 pub use ensemble::{EnsembleConfig, EnsembleMatrix, EnsembleMode};
 pub use predictor::{ArPredictor, GpCellPredictor, KnnData, PredictorKind};
-pub use sensor::{SensorPredictor, SmilerConfig};
+pub use sensor::{FaultKind, SensorPredictor, SmilerConfig};
 pub use snapshot::{HorizonSnapshot, SensorSnapshot};
 pub use stream::{Forecast, SensorStream, StreamError};
-pub use system::SmilerSystem;
+pub use system::{SensorFault, SensorHealth, SmilerSystem};

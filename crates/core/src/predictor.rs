@@ -175,6 +175,14 @@ impl GpCellPredictor {
         }
     }
 
+    /// The degraded-serving plan: reuse the stored hyperparameters without
+    /// training and without advancing the retrain cadence. `None` when the
+    /// cell has never been trained — under deadline pressure an untrained
+    /// column is served by aggregation rather than paying for a cold start.
+    pub fn plan_cached(&self) -> Option<HyperPlan> {
+        self.hyper.map(HyperPlan::Reuse)
+    }
+
     /// Execute a [`HyperPlan`] on the given training data. Pure: touches no
     /// cell state, so it may run on any thread.
     pub fn compute_hyper(

@@ -6,15 +6,17 @@
 //! cell and horizon — the whole point of the Suffix kNN formulation), then
 //! instantiates the abstract predictors on prefix-k subsets of the results.
 
+use crate::degrade::{DegradationLevel, ErrorState, PredictError, Prediction, RequestPolicy};
 use crate::ensemble::{EnsembleConfig, EnsembleMatrix};
 use crate::predictor::{ArPredictor, GpCellPredictor, HyperPlan, KnnData, PredictorKind};
 use smiler_gp::{GpError, GpModel, GpScratch, Hyperparams, PrefixGp, TrainConfig};
 use smiler_gpu::Device;
-use smiler_index::{IndexParams, SearchOutput, SmilerIndex, ThresholdStrategy};
+use smiler_index::{IndexParams, SearchError, SearchOutput, SmilerIndex, ThresholdStrategy};
 use smiler_linalg::{stats, Matrix};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Configuration of one SMiLer sensor predictor (paper Table 2 defaults).
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -74,7 +76,9 @@ impl SmilerConfig {
             rho: self.rho,
             omega: self.omega,
             lengths: self.ensemble.elv.clone(),
-            k_max: *self.ensemble.ekv.iter().max().expect("EKV non-empty"),
+            // Zero only for an empty EKV, which `IndexParams::validate`
+            // rejects at build time with a proper message.
+            k_max: self.ensemble.ekv.iter().copied().max().unwrap_or_default(),
         }
     }
 }
@@ -109,6 +113,18 @@ struct PredictScratch {
     centred: Vec<f64>,
 }
 
+/// A fault the test harness can inject into a predictor to exercise the
+/// fleet's isolation and degradation machinery.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic at the top of every prediction (worker-isolation tests).
+    PanicOnPredict,
+    /// Force non-finite hyperparameters into every GP column so the Gram
+    /// matrix cannot be factorised (the non-PD Cholesky failure path).
+    BadGram,
+}
+
 /// The per-sensor semi-lazy predictor.
 #[derive(Debug)]
 pub struct SensorPredictor {
@@ -121,6 +137,10 @@ pub struct SensorPredictor {
     cache: Option<(usize, SearchOutput)>,
     horizons: HashMap<usize, HorizonState>,
     scratch: PredictScratch,
+    /// Rolling error bookkeeping (degradation cooldown, health metrics).
+    errors: ErrorState,
+    /// Test-harness fault injection; `None` in production.
+    injected: Option<FaultKind>,
 }
 
 impl SensorPredictor {
@@ -147,7 +167,26 @@ impl SensorPredictor {
             cache: None,
             horizons: HashMap::new(),
             scratch: PredictScratch::default(),
+            errors: ErrorState::default(),
+            injected: None,
         }
+    }
+
+    /// The sensor's rolling error state (cooldown, failure totals).
+    pub fn error_state(&self) -> ErrorState {
+        self.errors
+    }
+
+    /// Inject a fault for isolation/degradation tests.
+    #[doc(hidden)]
+    pub fn inject_fault(&mut self, fault: FaultKind) {
+        self.injected = Some(fault);
+    }
+
+    /// Clear an injected fault.
+    #[doc(hidden)]
+    pub fn clear_fault(&mut self) {
+        self.injected = None;
     }
 
     /// Sensor identifier.
@@ -237,17 +276,17 @@ impl SensorPredictor {
     }
 
     /// Run (or reuse) this step's suffix kNN search.
-    fn ensure_search(&mut self) -> SearchOutput {
+    fn try_ensure_search(&mut self) -> Result<SearchOutput, SearchError> {
         let len = self.index.series().len();
         if let Some((at, out)) = &self.cache {
             if *at == len {
-                return out.clone();
+                return Ok(out.clone());
             }
         }
         let max_end = len.saturating_sub(self.config.h_max);
-        let out = self.index.search(&self.device, max_end);
+        let out = self.index.try_search(&self.device, max_end)?;
         self.cache = Some((len, out.clone()));
-        out
+        Ok(out)
     }
 
     fn horizon_state(&mut self, h: usize) -> &mut HorizonState {
@@ -289,24 +328,191 @@ impl SensorPredictor {
     }
 
     /// Predict `N(mean, variance)` for the value `h` steps past the last
-    /// observation. Runs the Search Step once per time step (cached across
-    /// horizons) and the Prediction Step per ensemble cell.
-    ///
-    /// Because a search's neighbour lists are distance-sorted, every EKV
-    /// cell of a `(d, h)` column trains on a *prefix* of the same list, so
-    /// the kNN data is assembled once per column at the largest awake `k`
-    /// and GP cells share one hyperparameter set and one Gram
-    /// factorisation ([`PrefixGp`]) instead of Σ O(k³) independent fits.
+    /// observation — the infallible convenience wrapper over
+    /// [`SensorPredictor::try_predict`] for tests, benches and offline
+    /// tools. Serving paths use the fallible API.
     ///
     /// # Panics
-    /// Panics if `h` is zero or exceeds the configured `h_max`.
+    /// Panics if `h` is zero or exceeds the configured `h_max`, or on any
+    /// [`PredictError`].
     pub fn predict(&mut self, h: usize) -> (f64, f64) {
         assert!(h >= 1 && h <= self.config.h_max, "horizon {h} out of configured range");
-        let search = self.ensure_search();
+        match self.try_predict(h) {
+            Ok(p) => (p.mean, p.variance),
+            Err(e) => panic!("sensor {}: prediction failed: {e}", self.sensor_id),
+        }
+    }
+
+    /// Fallible prediction under the default [`RequestPolicy`]:
+    /// bit-identical to [`SensorPredictor::predict`] on healthy data,
+    /// degrading instead of panicking on poisoned data.
+    pub fn try_predict(&mut self, h: usize) -> Result<Prediction, PredictError> {
+        self.try_predict_with(h, &RequestPolicy::default())
+    }
+
+    /// Fallible prediction under a caller-supplied [`RequestPolicy`] — the
+    /// serving path's entry point.
+    ///
+    /// Runs the Search Step once per time step (cached across horizons) and
+    /// the Prediction Step per ensemble cell. Because a search's neighbour
+    /// lists are distance-sorted, every EKV cell of a `(d, h)` column
+    /// trains on a *prefix* of the same list, so the kNN data is assembled
+    /// once per column at the largest awake `k` and GP cells share one
+    /// hyperparameter set and one Gram factorisation ([`PrefixGp`]) instead
+    /// of Σ O(k³) independent fits.
+    ///
+    /// Walks the degradation ladder (full ensemble → cached
+    /// hyperparameters → aggregation → last-value hold) driven by the
+    /// policy's deadline checkpoints and the sensor's recent error state;
+    /// returns [`PredictError`] only when even the bottom rung cannot
+    /// produce a forecast.
+    pub fn try_predict_with(
+        &mut self,
+        h: usize,
+        policy: &RequestPolicy,
+    ) -> Result<Prediction, PredictError> {
+        let started = Instant::now();
+        if h < 1 || h > self.config.h_max {
+            return Err(PredictError::HorizonOutOfRange { h, h_max: self.config.h_max });
+        }
+        if self.injected == Some(FaultKind::PanicOnPredict) {
+            panic!("injected fault: sensor {} predict panicked", self.sensor_id);
+        }
+
+        let mut level = policy.entry_level;
+        // Error-state rung: repeated GP failures park the sensor on
+        // aggregation until the cooldown drains.
+        if self.errors.cooldown_remaining > 0 {
+            self.errors.cooldown_remaining -= 1;
+            level = level.at_least(DegradationLevel::Aggregation);
+            smiler_obs::count("health.gp_cooldown", "", 1);
+        }
+        // Entry checkpoint: a budget that is already gone buys only the
+        // last-value hold.
+        if let Some(deadline) = policy.deadline {
+            if started.elapsed() >= deadline {
+                level = DegradationLevel::LastValue;
+            }
+        }
+        if level == DegradationLevel::LastValue {
+            return self.finish_last_value(h, policy, started);
+        }
+
+        // Search Step — shared by every rung above the last-value hold.
+        let search = match self.try_ensure_search() {
+            Ok(out) => out,
+            Err(SearchError::NonFiniteQuery { .. }) => {
+                // The query suffix itself is poisoned: nothing can be
+                // ranked, so nothing can be aggregated either — hold.
+                self.errors.total_search_errors += 1;
+                smiler_obs::count("health.search_error", "nonfinite_query", 1);
+                return self.finish_last_value(h, policy, started);
+            }
+            Err(e) => {
+                self.errors.total_search_errors += 1;
+                smiler_obs::count("health.search_error", "fatal", 1);
+                return Err(PredictError::Search(e));
+            }
+        };
+
+        // Post-search checkpoints: budget overrun → aggregation; more than
+        // half the budget spent → skip hyperparameter retraining.
+        if let Some(deadline) = policy.deadline {
+            let elapsed = started.elapsed();
+            if elapsed >= deadline {
+                level = level.at_least(DegradationLevel::Aggregation);
+            } else if elapsed * 2 >= deadline {
+                level = level.at_least(DegradationLevel::CachedHyper);
+            }
+        }
+
+        let (fused, gp_failures) = self.predict_core(h, &search, level);
+
+        // Error-state update feeding the cooldown rung.
+        if gp_failures > 0 {
+            self.errors.total_gp_failures += gp_failures;
+            self.errors.consecutive_gp_failures += 1;
+            smiler_obs::count("health.gp_failure", "", gp_failures);
+            if self.errors.consecutive_gp_failures >= policy.gp_failure_threshold {
+                self.errors.consecutive_gp_failures = 0;
+                self.errors.cooldown_remaining = policy.gp_cooldown_steps;
+                smiler_obs::count("health.gp_cooldown_entered", "", 1);
+            }
+        } else if level < DegradationLevel::Aggregation {
+            self.errors.consecutive_gp_failures = 0;
+        }
+
+        match fused {
+            Some((mean, variance)) => Ok(self.finish(mean, variance, level, policy, started)),
+            // Every cell asleep or failed: hold the last finite value.
+            None => self.finish_last_value(h, policy, started),
+        }
+    }
+
+    /// The bottom rung: hold the last finite observation with a wide,
+    /// horizon-scaled variance.
+    fn finish_last_value(
+        &self,
+        h: usize,
+        policy: &RequestPolicy,
+        started: Instant,
+    ) -> Result<Prediction, PredictError> {
+        let last = self
+            .index
+            .series()
+            .iter()
+            .rev()
+            .copied()
+            .find(|v| v.is_finite())
+            .ok_or(PredictError::NoFiniteHistory)?;
+        Ok(self.finish(last, 1.0 + h as f64, DegradationLevel::LastValue, policy, started))
+    }
+
+    /// Stamp a forecast with its serving metadata and health metrics.
+    fn finish(
+        &self,
+        mean: f64,
+        variance: f64,
+        level: DegradationLevel,
+        policy: &RequestPolicy,
+        started: Instant,
+    ) -> Prediction {
+        let elapsed = started.elapsed();
+        let deadline_missed = match policy.deadline {
+            Some(d) if elapsed > d => {
+                smiler_obs::count("health.deadline_miss", "", 1);
+                smiler_obs::observe(
+                    "health.deadline_overrun_ms",
+                    "",
+                    (elapsed - d).as_secs_f64() * 1e3,
+                );
+                true
+            }
+            _ => false,
+        };
+        if smiler_obs::enabled() {
+            smiler_obs::count("health.predictions", level.as_str(), 1);
+            if level != DegradationLevel::FullEnsemble {
+                smiler_obs::count("health.degraded", level.as_str(), 1);
+            }
+        }
+        Prediction { mean, variance, level, deadline_missed, elapsed }
+    }
+
+    /// One prediction step at a fixed degradation rung (at most
+    /// aggregation; the last-value hold never reaches here). Returns the
+    /// fused forecast and the number of GP cell failures encountered.
+    fn predict_core(
+        &mut self,
+        h: usize,
+        search: &SearchOutput,
+        level: DegradationLevel,
+    ) -> (Option<(f64, f64)>, u64) {
         let n_elv = self.config.ensemble.elv.len();
         let ekv = self.config.ensemble.ekv.clone();
         let target = self.index.series().len() - 1 + h;
         let n_cells = ekv.len() * n_elv;
+        let bad_gram = self.injected == Some(FaultKind::BadGram);
 
         let awake: Vec<bool> = {
             let state = self.horizons.get(&h);
@@ -322,7 +528,7 @@ impl SensorPredictor {
                     .filter(|&(ci, _)| awake[ci * n_elv + d_idx])
                     .map(|(_, &k)| k)
                     .max()?;
-                Some(self.knn_data(&search, k_col, d_idx, h))
+                Some(self.knn_data(search, k_col, d_idx, h))
             })
             .collect();
 
@@ -331,68 +537,105 @@ impl SensorPredictor {
         let mut predictions: Vec<Option<(f64, f64)>> = vec![None; n_cells];
 
         // Phase 1 (serial): per column, pick the trainer cell, snapshot its
-        // training inputs and advance the retrain-cadence bookkeeping.
-        let jobs: Vec<ColumnTrainJob> = col_data
-            .iter()
-            .enumerate()
-            .filter_map(|(d_idx, data)| {
-                let data = data.as_ref()?;
-                let (take, idx) = column_trainer(state, &ekv, n_elv, d_idx, &awake, data)?;
-                let y = &data.y[..take];
-                let y_mean = stats::mean(y);
-                let centred: Vec<f64> = y.iter().map(|v| v - y_mean).collect();
-                let x = if take == data.x.rows() {
-                    data.x.clone()
-                } else {
-                    Matrix::from_fn(take, data.x.cols(), |i, j| data.x[(i, j)])
-                };
-                let CellState::Gp(cell) = &mut state.cells[idx] else {
-                    unreachable!("trainer is a GP cell")
-                };
-                let plan = cell.plan_hyper();
-                let config = cell.train_config().clone();
-                Some(ColumnTrainJob { d_idx, idx, x, centred, plan, config })
-            })
-            .collect();
+        // training inputs and advance the retrain-cadence bookkeeping. The
+        // aggregation rung trains nothing.
+        let jobs: Vec<ColumnTrainJob> = if level >= DegradationLevel::Aggregation {
+            Vec::new()
+        } else {
+            col_data
+                .iter()
+                .enumerate()
+                .filter_map(|(d_idx, data)| {
+                    let data = data.as_ref()?;
+                    let (take, idx) = column_trainer(state, &ekv, n_elv, d_idx, &awake, data)?;
+                    let y = &data.y[..take];
+                    let y_mean = stats::mean(y);
+                    let centred: Vec<f64> = y.iter().map(|v| v - y_mean).collect();
+                    let x = if take == data.x.rows() {
+                        data.x.clone()
+                    } else {
+                        Matrix::from_fn(take, data.x.cols(), |i, j| data.x[(i, j)])
+                    };
+                    let CellState::Gp(cell) = &mut state.cells[idx] else {
+                        unreachable!("trainer is a GP cell")
+                    };
+                    let plan = if bad_gram {
+                        // Injected fault: non-finite hyperparameters make
+                        // the Gram matrix unfactorisable.
+                        HyperPlan::Reuse(Hyperparams {
+                            theta0: f64::NAN,
+                            theta1: f64::NAN,
+                            theta2: f64::NAN,
+                        })
+                    } else if level == DegradationLevel::CachedHyper {
+                        // Degraded rung: reuse without retraining;
+                        // never-trained columns fall to aggregation.
+                        cell.plan_cached()?
+                    } else {
+                        cell.plan_hyper()
+                    };
+                    let config = cell.train_config().clone();
+                    Some(ColumnTrainJob { d_idx, idx, x, centred, plan, config })
+                })
+                .collect()
+        };
 
         // Phase 2: hyperparameter training + shared-prefix factorisation —
         // pure, column-independent computations, so extra columns run on
         // scoped worker threads when the host has cores to spare. The
         // first job stays on the calling thread (its spans nest under the
-        // step as before).
+        // step as before); single-job (one-column) ensembles always train
+        // inline.
         let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
         let results: Vec<ColumnGpFit> = if jobs.len() <= 1 || host_cores <= 1 {
             jobs.into_iter().map(run_column_train).collect()
         } else {
             let mut jobs = jobs.into_iter();
-            let first = jobs.next().expect("more than one job");
-            let rest: Vec<ColumnTrainJob> = jobs.collect();
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = rest
-                    .into_iter()
-                    .map(|job| scope.spawn(move |_| run_column_train(job)))
-                    .collect();
-                let mut out = vec![run_column_train(first)];
-                out.extend(handles.into_iter().map(|h| h.join().expect("column trainer")));
-                out
-            })
-            .expect("column training scope")
+            match jobs.next() {
+                None => Vec::new(),
+                Some(first) => {
+                    let rest: Vec<ColumnTrainJob> = jobs.collect();
+                    crossbeam::thread::scope(|scope| {
+                        let handles: Vec<_> = rest
+                            .into_iter()
+                            .map(|job| scope.spawn(move |_| run_column_train(job)))
+                            .collect();
+                        let mut out = vec![run_column_train(first)];
+                        out.extend(handles.into_iter().map(|handle| match handle.join() {
+                            Ok(fit) => fit,
+                            // Re-raise the worker's own panic payload so
+                            // fleet-level isolation sees the original fault.
+                            Err(payload) => std::panic::resume_unwind(payload),
+                        }));
+                        out
+                    })
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+                }
+            }
         };
 
-        // Phase 3 (serial): install the trained hyperparameters, then
-        // predict every awake cell from its column's shared factorisation.
+        // Phase 3 (serial): install the trained hyperparameters (never
+        // non-finite ones — a poisoned optimum must not outlive its step),
+        // then predict every awake cell from its column's shared
+        // factorisation.
+        let mut gp_failures = 0u64;
         let mut column_gp: Vec<Option<(Hyperparams, Result<PrefixGp, GpError>)>> =
             (0..n_elv).map(|_| None).collect();
         for fit in results {
             let CellState::Gp(cell) = &mut state.cells[fit.idx] else {
                 unreachable!("trainer is a GP cell")
             };
-            cell.install_hyper(fit.hyper);
+            if fit.hyper.theta0.is_finite()
+                && fit.hyper.theta1.is_finite()
+                && fit.hyper.theta2.is_finite()
+            {
+                cell.install_hyper(fit.hyper);
+            }
             column_gp[fit.d_idx] = Some((fit.hyper, fit.fit));
         }
         for (d_idx, data) in col_data.iter().enumerate() {
             if let Some(data) = data {
-                predict_column(
+                gp_failures += predict_column(
                     state,
                     &ekv,
                     n_elv,
@@ -407,16 +650,16 @@ impl SensorPredictor {
         }
 
         let fused = state.ensemble.fuse(&predictions);
-        // Replace any stale pending entry for the same target (the caller
-        // predicted this horizon twice in one step).
-        state.pending.retain(|(t, _)| *t != target);
-        state.pending.push_back((target, predictions));
+        // λ updates only score undegraded cell outputs: an aggregation-rung
+        // step must not attribute AR forecasts to GP cells. Replace any
+        // stale pending entry for the same target (the caller predicted
+        // this horizon twice in one step).
+        if level < DegradationLevel::Aggregation {
+            state.pending.retain(|(t, _)| *t != target);
+            state.pending.push_back((target, predictions));
+        }
         self.scratch = scratch;
-
-        fused.unwrap_or_else(|| {
-            let last = self.index.series().last().copied().unwrap_or(0.0);
-            (last, 1.0)
-        })
+        (fused, gp_failures)
     }
 
     /// Absorb the newly observed value: score pending predictions whose
@@ -435,9 +678,10 @@ impl SensorPredictor {
             }
             if let Some((t, _)) = state.pending.front() {
                 if *t == arriving {
-                    let (_, preds) = state.pending.pop_front().expect("front exists");
-                    let _span = smiler_obs::span("ensemble.update");
-                    state.ensemble.update(value, &preds);
+                    if let Some((_, preds)) = state.pending.pop_front() {
+                        let _span = smiler_obs::span("ensemble.update");
+                        state.ensemble.update(value, &preds);
+                    }
                 }
             }
         }
@@ -520,6 +764,10 @@ fn column_trainer(
 /// length. When the factorisation needed jitter the prefix identity no
 /// longer holds and each cell falls back to an independent fit with the
 /// shared hyperparameters.
+///
+/// Returns the number of cells whose GP posterior failed outright (the
+/// cell served an aggregation fallback instead) — the health signal that
+/// feeds the sensor's cooldown bookkeeping.
 #[allow(clippy::too_many_arguments)] // internal helper mirroring the cell grid
 fn predict_column(
     state: &HorizonState,
@@ -531,8 +779,9 @@ fn predict_column(
     column_gp: &Option<(Hyperparams, Result<PrefixGp, GpError>)>,
     scratch: &mut PredictScratch,
     predictions: &mut [Option<(f64, f64)>],
-) {
+) -> u64 {
     let _gp_span = column_gp.is_some().then(|| smiler_obs::span("gp.predict"));
+    let mut gp_failures = 0u64;
     for (ci, &k) in ekv.iter().enumerate() {
         let idx = ci * n_elv + d_idx;
         if !awake[idx] {
@@ -564,13 +813,17 @@ fn predict_column(
                 match posterior {
                     Ok((mean, var)) => Some((mean + y_mean, var)),
                     // Pathological Gram matrix even cell-by-cell: aggregate.
-                    Err(_) => ArPredictor.predict_labels(y),
+                    Err(_) => {
+                        gp_failures += 1;
+                        ArPredictor.predict_labels(y)
+                    }
                 }
             }
             // No trainable cell in the column (all prefixes degenerate).
             (CellState::Gp(_), None) => ArPredictor.predict_labels(y),
         };
     }
+    gp_failures
 }
 
 /// Adapter: a [`SensorPredictor`] as a [`smiler_baselines::SeriesPredictor`]
@@ -621,7 +874,7 @@ impl smiler_baselines::SeriesPredictor for SmilerForecaster {
     }
 
     fn train(&mut self, history: &[f64]) {
-        let d_master = *self.config.ensemble.elv.iter().max().expect("ELV non-empty");
+        let d_master = self.config.ensemble.elv.iter().copied().max().unwrap_or_default();
         if history.len() < d_master + self.config.h_max + 1 {
             self.inner = None;
             self.fallback_history = history.to_vec();

@@ -128,7 +128,8 @@ impl SensorStream {
     /// Ingest one raw observation. Missing ticks between the previous
     /// observation and this one are filled by linear interpolation; the
     /// return value is the number of samples absorbed (1 + fills).
-    /// Off-grid timestamps snap to the most recent tick.
+    /// Off-grid timestamps snap to the **nearest** tick, keeping `newest`
+    /// on the sampling grid.
     pub fn ingest(&mut self, timestamp: u64, raw_value: f64) -> Result<usize, StreamError> {
         if !raw_value.is_finite() {
             return Err(StreamError::NotFinite);
@@ -137,7 +138,10 @@ impl SensorStream {
             return Err(StreamError::StaleTimestamp { got: timestamp, newest: self.newest });
         }
         let elapsed = timestamp - self.newest;
-        let ticks = (elapsed / self.interval).max(1) as usize;
+        // Nearest-tick snap. Floor rounding re-times late-jittered samples
+        // one tick early; the error accumulates until it exceeds one
+        // interval and then surfaces as a spurious interpolated fill.
+        let ticks = ((elapsed + self.interval / 2) / self.interval).max(1) as usize;
         let missing = ticks - 1;
         if missing > self.max_gap {
             return Err(StreamError::GapTooLarge { missing, max: self.max_gap });
@@ -247,6 +251,42 @@ mod tests {
         assert_eq!(err, StreamError::GapTooLarge { missing: 9, max: 2 });
         // Clock unchanged: the caller decides how to resynchronise.
         assert_eq!(s.newest_timestamp(), 4000);
+    }
+
+    #[test]
+    fn off_grid_arrivals_do_not_drift_the_clock() {
+        // Property: a stream arriving once per true tick, with bounded
+        // random timestamp jitter, must absorb exactly one sample per
+        // arrival (no spurious interpolation) and keep `newest` on the
+        // sampling grid.
+        let mut rng = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for _case in 0..8 {
+            let mut s = stream();
+            for i in 1..=200u64 {
+                let jitter = (next() % 9) as i64 - 4; // [-4, 4] on interval 10
+                let t = (4000 + i * 10) as i64 + jitter;
+                let absorbed = s.ingest(t as u64, 400.0 + (i % 7) as f64).unwrap();
+                assert_eq!(absorbed, 1, "arrival {i} at t={t} caused spurious fills");
+                assert_eq!(s.newest_timestamp(), 4000 + i * 10, "clock drifted at arrival {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn off_grid_gap_snaps_to_nearest_tick() {
+        let mut s = stream();
+        // 18 units past the newest tick is nearest to 2 ticks, not 1.
+        assert_eq!(s.ingest(4018, 420.0), Ok(2));
+        assert_eq!(s.newest_timestamp(), 4020);
+        // 4 units short of the next tick still counts as that tick.
+        assert_eq!(s.ingest(4026, 430.0), Ok(1));
+        assert_eq!(s.newest_timestamp(), 4030);
     }
 
     #[test]

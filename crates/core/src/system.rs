@@ -7,11 +7,18 @@
 //! arrangement; it also enforces the device-memory budget that bounds the
 //! number of resident sensors (the Fig 12c capacity experiment).
 
+use crate::degrade::{PredictError, Prediction, RequestPolicy};
 use crate::predictor::PredictorKind;
 use crate::sensor::{SensorPredictor, SmilerConfig};
+use crate::snapshot::SensorSnapshot;
 use smiler_gpu::Device;
 use smiler_index::{fleet_search, SmilerIndex};
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
+
+/// How many fleet observation rounds pass between snapshot refreshes of
+/// healthy sensors (the recovery point a quarantined sensor restarts from).
+const SNAPSHOT_REFRESH_INTERVAL: u64 = 16;
 
 /// Error returned when a sensor's index does not fit in device memory.
 #[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
@@ -36,10 +43,79 @@ impl std::fmt::Display for OutOfDeviceMemory {
 
 impl std::error::Error for OutOfDeviceMemory {}
 
+/// Health of one resident sensor, as tracked by the fleet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SensorHealth {
+    /// Serving normally.
+    Healthy,
+    /// The sensor's predictor panicked and is fenced off until
+    /// [`SmilerSystem::recover`] rebuilds it from its last good snapshot.
+    Quarantined {
+        /// The panic message that caused the quarantine.
+        message: String,
+    },
+}
+
+/// Why a sensor produced no forecast during a robust fleet pass.
+#[derive(Debug, Clone)]
+pub enum SensorFault {
+    /// The predictor panicked during this pass; the sensor is now
+    /// quarantined.
+    Panicked {
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// The sensor was already quarantined when the pass started.
+    Quarantined {
+        /// The panic message that caused the quarantine.
+        message: String,
+    },
+    /// The fallible serving path returned a typed error.
+    Predict(PredictError),
+}
+
+impl std::fmt::Display for SensorFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SensorFault::Panicked { message } => write!(f, "predictor panicked: {message}"),
+            SensorFault::Quarantined { message } => {
+                write!(f, "sensor is quarantined (cause: {message})")
+            }
+            SensorFault::Predict(e) => write!(f, "prediction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SensorFault {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SensorFault::Predict(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Stringify a panic payload for quarantine bookkeeping.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// A fleet of per-sensor SMiLer predictors sharing one device.
 pub struct SmilerSystem {
     device: Arc<Device>,
     sensors: Vec<SensorPredictor>,
+    health: Vec<SensorHealth>,
+    /// Last good snapshot per sensor — the recovery point. While a sensor
+    /// is quarantined its snapshot keeps absorbing the fleet's incoming
+    /// observations so recovery resumes with a current history.
+    snapshots: Vec<SensorSnapshot>,
+    rounds_since_refresh: u64,
 }
 
 impl SmilerSystem {
@@ -78,7 +154,9 @@ impl SmilerSystem {
         if smiler_obs::enabled() {
             smiler_obs::gauge_set("sensors.resident", "", sensors.len() as f64);
         }
-        (SmilerSystem { device, sensors }, rejection)
+        let health = vec![SensorHealth::Healthy; sensors.len()];
+        let snapshots = sensors.iter().map(|s| s.snapshot()).collect();
+        (SmilerSystem { device, sensors, health, snapshots, rounds_since_refresh: 0 }, rejection)
     }
 
     /// Number of resident sensors.
@@ -133,25 +211,139 @@ impl SmilerSystem {
     /// prediction step parallelises trivially; the shared device's
     /// simulated clock stays correct because cost accounting is atomic
     /// per launch.
+    ///
+    /// Fault-isolated: a sensor that panics or errors is quarantined and
+    /// reports `(NaN, ∞)`; every healthy sensor's forecast is unaffected.
+    /// Use [`SmilerSystem::predict_all_robust`] to see typed per-sensor
+    /// faults instead of the NaN marker.
     pub fn predict_all_parallel(&mut self, h: usize) -> Vec<(f64, f64)> {
+        self.predict_all_robust(h, &RequestPolicy::default())
+            .into_iter()
+            .map(|r| match r {
+                Ok(p) => (p.mean, p.variance),
+                Err(_) => (f64::NAN, f64::INFINITY),
+            })
+            .collect()
+    }
+
+    /// Predict horizon `h` for every sensor with full fault isolation: the
+    /// fleet's serving entry point.
+    ///
+    /// Each sensor runs the fallible, degradation-aware path
+    /// ([`SensorPredictor::try_predict_with`]) on a host worker thread
+    /// behind a panic boundary. A panicking sensor is **quarantined** —
+    /// fenced off from further requests until [`SmilerSystem::recover`]
+    /// rebuilds it from its last good snapshot — and reported as a
+    /// [`SensorFault`]; the other sensors' forecasts are exactly what a
+    /// fault-free pass would have produced.
+    pub fn predict_all_robust(
+        &mut self,
+        h: usize,
+        policy: &RequestPolicy,
+    ) -> Vec<Result<Prediction, SensorFault>> {
         let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
         let chunk = self.sensors.len().div_ceil(threads.max(1)).max(1);
-        let mut results: Vec<Vec<(f64, f64)>> = Vec::new();
+        let mut results: Vec<Vec<Result<Prediction, SensorFault>>> = Vec::new();
         crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .sensors
                 .chunks_mut(chunk)
-                .map(|sensors| {
+                .zip(self.health.chunks_mut(chunk))
+                .map(|(sensors, health)| {
                     scope.spawn(move |_| {
-                        sensors.iter_mut().map(|s| s.predict(h)).collect::<Vec<_>>()
+                        sensors
+                            .iter_mut()
+                            .zip(health.iter_mut())
+                            .map(|(s, state)| Self::predict_one_isolated(s, state, h, policy))
+                            .collect::<Vec<_>>()
                     })
                 })
                 .collect();
-            results =
-                handles.into_iter().map(|j| j.join().expect("sensor predictor panicked")).collect();
+            results = handles
+                .into_iter()
+                .map(|j| match j.join() {
+                    Ok(r) => r,
+                    // Only the harness itself can reach here — sensor
+                    // panics were already caught at the panic boundary.
+                    Err(payload) => panic::resume_unwind(payload),
+                })
+                .collect();
         })
-        .expect("prediction worker panicked");
+        .unwrap_or_else(|payload| panic::resume_unwind(payload));
+        if smiler_obs::enabled() {
+            smiler_obs::gauge_set("health.quarantined", "", self.quarantined().len() as f64);
+        }
         results.into_iter().flatten().collect()
+    }
+
+    /// One sensor's isolated prediction: skip it if quarantined, otherwise
+    /// run the fallible path behind a panic boundary and quarantine on
+    /// unwind.
+    fn predict_one_isolated(
+        sensor: &mut SensorPredictor,
+        state: &mut SensorHealth,
+        h: usize,
+        policy: &RequestPolicy,
+    ) -> Result<Prediction, SensorFault> {
+        if let SensorHealth::Quarantined { message } = state {
+            return Err(SensorFault::Quarantined { message: message.clone() });
+        }
+        match panic::catch_unwind(AssertUnwindSafe(|| sensor.try_predict_with(h, policy))) {
+            Ok(Ok(p)) => Ok(p),
+            Ok(Err(e)) => Err(SensorFault::Predict(e)),
+            Err(payload) => {
+                // The predictor's in-memory state may be torn mid-update:
+                // fence the sensor off until it is rebuilt from snapshot.
+                let message = panic_message(payload);
+                *state = SensorHealth::Quarantined { message: message.clone() };
+                smiler_obs::count("health.sensor_panic", "", 1);
+                Err(SensorFault::Panicked { message })
+            }
+        }
+    }
+
+    /// Health of one resident sensor.
+    pub fn health(&self, idx: usize) -> &SensorHealth {
+        &self.health[idx]
+    }
+
+    /// Indices of currently quarantined sensors.
+    pub fn quarantined(&self) -> Vec<usize> {
+        self.health
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| matches!(h, SensorHealth::Quarantined { .. }))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Rebuild a quarantined sensor from its last good snapshot (including
+    /// the observations that arrived while it was fenced off) and mark it
+    /// healthy. Returns `true` on success; `false` if the sensor was not
+    /// quarantined, or if the rebuild itself panicked (it then stays
+    /// quarantined).
+    pub fn recover(&mut self, idx: usize) -> bool {
+        if !matches!(self.health[idx], SensorHealth::Quarantined { .. }) {
+            return false;
+        }
+        let snapshot = self.snapshots[idx].clone();
+        let device = Arc::clone(&self.device);
+        match panic::catch_unwind(AssertUnwindSafe(|| SensorPredictor::restore(device, snapshot))) {
+            Ok(predictor) => {
+                self.sensors[idx] = predictor;
+                self.health[idx] = SensorHealth::Healthy;
+                smiler_obs::count("health.sensor_recovered", "", 1);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Attempt recovery of every quarantined sensor; returns the indices
+    /// brought back.
+    pub fn recover_all(&mut self) -> Vec<usize> {
+        let quarantined = self.quarantined();
+        quarantined.into_iter().filter(|&idx| self.recover(idx)).collect()
     }
 
     /// One full continuous-prediction step for the whole fleet: predict
@@ -199,12 +391,29 @@ impl SmilerSystem {
 
     /// Feed one new observation per sensor (same order as construction).
     ///
+    /// Healthy sensors absorb the value normally; a quarantined sensor's
+    /// *snapshot* absorbs it instead, so [`SmilerSystem::recover`] rebuilds
+    /// with a current history. Every [`SNAPSHOT_REFRESH_INTERVAL`] rounds
+    /// the healthy sensors' recovery snapshots are refreshed.
+    ///
     /// # Panics
     /// Panics if the observation count differs from the sensor count.
     pub fn observe_all(&mut self, observations: &[f64]) {
         assert_eq!(observations.len(), self.sensors.len(), "one observation per sensor");
-        for (s, &v) in self.sensors.iter_mut().zip(observations) {
-            s.observe(v);
+        for (idx, &v) in observations.iter().enumerate() {
+            match self.health[idx] {
+                SensorHealth::Healthy => self.sensors[idx].observe(v),
+                SensorHealth::Quarantined { .. } => self.snapshots[idx].history.push(v),
+            }
+        }
+        self.rounds_since_refresh += 1;
+        if self.rounds_since_refresh >= SNAPSHOT_REFRESH_INTERVAL {
+            self.rounds_since_refresh = 0;
+            for (idx, s) in self.sensors.iter().enumerate() {
+                if self.health[idx] == SensorHealth::Healthy {
+                    self.snapshots[idx] = s.snapshot();
+                }
+            }
         }
     }
 

@@ -34,5 +34,5 @@ pub mod group;
 pub mod kselect;
 
 pub use cost::{CostModel, CpuSpec, GpuSpec, KernelStats};
-pub use device::{BlockCtx, Device, LaunchReport};
+pub use device::{BlockCtx, Device, LaunchReport, SharedMemOverflow};
 pub use group::DeviceGroup;

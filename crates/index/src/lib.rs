@@ -36,6 +36,6 @@ pub mod window;
 
 pub use fleet::fleet_search;
 pub use search::{
-    BoundMode, IndexParams, Neighbor, SearchOutput, SearchStats, SmilerIndex, ThresholdStrategy,
-    VerifyMode,
+    BoundMode, IndexParams, Neighbor, SearchError, SearchOutput, SearchStats, SmilerIndex,
+    ThresholdStrategy, VerifyMode,
 };

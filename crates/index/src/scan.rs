@@ -216,17 +216,20 @@ pub fn smiler_dir(
             // Threshold: verify the k smallest lower bounds; τ = max DTW.
             if lbs.len() <= k {
                 let all: Vec<usize> = (0..lbs.len()).collect();
-                let dists = verify_candidates(device, series, query, rho, &all);
+                let dists = verify_candidates(device, series, query, rho, &all)
+                    .expect("verify kernel fits shared memory");
                 return select_from(device, &all, &dists, k);
             }
             let probes =
                 device.launch(1, |ctx| kselect::select_k_smallest(ctx, &lbs, k)).results.remove(0);
-            let probe_dists = verify_candidates(device, series, query, rho, &probes);
+            let probe_dists = verify_candidates(device, series, query, rho, &probes)
+                .expect("verify kernel fits shared memory");
             let tau = probe_dists.iter().copied().fold(f64::NEG_INFINITY, f64::max);
 
             let survivors: Vec<usize> =
                 (0..lbs.len()).filter(|&t| lbs[t] <= tau && !probes.contains(&t)).collect();
-            let dists = verify_candidates(device, series, query, rho, &survivors);
+            let dists = verify_candidates(device, series, query, rho, &survivors)
+                .expect("verify kernel fits shared memory");
             let mut verified: Vec<(usize, f64)> = probes.into_iter().zip(probe_dists).collect();
             verified.extend(survivors.into_iter().zip(dists));
             let (starts, vals): (Vec<usize>, Vec<f64>) = verified.into_iter().unzip();

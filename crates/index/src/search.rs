@@ -15,6 +15,71 @@ use smiler_gpu::Device;
 use smiler_timeseries::{Envelope, EnvelopeScratch};
 use std::sync::Arc;
 
+/// Errors raised by the suffix kNN search instead of panicking — the
+/// request path must degrade, not crash, when malformed data reaches it
+/// (one sensor's NaN must never take a fleet down).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchError {
+    /// The item query (the history suffix itself) contains a non-finite
+    /// value, so no candidate can be ranked: every DTW distance and lower
+    /// bound against it is NaN. Callers should fall back to a predictor
+    /// that needs no neighbours (aggregation over past labels, last-value
+    /// hold).
+    NonFiniteQuery {
+        /// Length of the poisoned item query.
+        length: usize,
+    },
+    /// `max_end` exceeds the history length (caller bookkeeping bug,
+    /// reported instead of panicking in the serving path).
+    MaxEndBeyondHistory {
+        /// The requested candidate-end bound.
+        max_end: usize,
+        /// The history length.
+        len: usize,
+    },
+    /// A kernel's working set exceeded the device's shared-memory budget
+    /// (configuration too large for the device).
+    SharedMemOverflow {
+        /// Bytes the kernel requested.
+        requested: usize,
+        /// The per-block shared-memory capacity.
+        capacity: usize,
+    },
+    /// A device launch returned an unexpected result shape.
+    Device(&'static str),
+}
+
+impl std::fmt::Display for SearchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SearchError::NonFiniteQuery { length } => {
+                write!(f, "item query of length {length} contains a non-finite value")
+            }
+            SearchError::MaxEndBeyondHistory { max_end, len } => {
+                write!(f, "max_end {max_end} exceeds the history length {len}")
+            }
+            SearchError::SharedMemOverflow { requested, capacity } => {
+                write!(f, "kernel requested {requested} shared bytes of {capacity} available")
+            }
+            SearchError::Device(what) => write!(f, "device launch failed: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SearchError {}
+
+impl From<smiler_gpu::SharedMemOverflow> for SearchError {
+    fn from(e: smiler_gpu::SharedMemOverflow) -> Self {
+        SearchError::SharedMemOverflow { requested: e.requested, capacity: e.capacity }
+    }
+}
+
+/// The single result of a one-block launch, as a typed error instead of a
+/// panicking `expect` in the request path.
+fn single_block<T>(results: Vec<T>) -> Result<T, SearchError> {
+    results.into_iter().next().ok_or(SearchError::Device("one-block launch returned no result"))
+}
+
 /// Parameters of the suffix kNN index (paper Table 2 defaults).
 #[derive(Debug, Clone)]
 pub struct IndexParams {
@@ -37,9 +102,10 @@ impl Default for IndexParams {
 }
 
 impl IndexParams {
-    /// Master-query length `D` (the largest item query).
+    /// Master-query length `D` (the largest item query). Zero only for an
+    /// empty ELV, which [`SmilerIndex::build`] rejects up front.
     pub fn d_master(&self) -> usize {
-        *self.lengths.last().expect("at least one length")
+        self.lengths.last().copied().unwrap_or_default()
     }
 
     fn validate(&self) {
@@ -317,36 +383,97 @@ impl SmilerIndex {
     /// h-step-ahead label).
     ///
     /// # Panics
-    /// Panics if `max_end` exceeds the history length.
+    /// Panics on any [`SearchError`] — the infallible convenience wrapper
+    /// for tests, benches and offline tools. Serving paths use
+    /// [`SmilerIndex::try_search`] instead.
     pub fn search(&mut self, device: &Device, max_end: usize) -> SearchOutput {
-        assert!(max_end <= self.series.len(), "max_end beyond history");
+        match self.try_search(device, max_end) {
+            Ok(out) => out,
+            Err(e) => panic!("suffix kNN search failed: {e}"),
+        }
+    }
+
+    /// Fallible suffix kNN search: returns a typed [`SearchError`] instead
+    /// of panicking when malformed input (a non-finite query value, an
+    /// out-of-range `max_end`) or an oversized kernel reaches the request
+    /// path. Candidates whose lower bound or DTW distance is non-finite —
+    /// a NaN spliced into the *history* rather than the query — are
+    /// filtered out exactly like `kselect` drops non-finite values, so one
+    /// poisoned segment degrades recall by at most itself.
+    pub fn try_search(
+        &mut self,
+        device: &Device,
+        max_end: usize,
+    ) -> Result<SearchOutput, SearchError> {
+        if max_end > self.series.len() {
+            return Err(SearchError::MaxEndBeyondHistory { max_end, len: self.series.len() });
+        }
         let _search_span = smiler_obs::span("search");
         let start_clock = device.elapsed_seconds();
         let start_saturated = device.saturated_seconds();
-        let params = self.params.clone();
-        let rho = params.rho;
-        let k = params.k_max;
 
         // Phase 1: group-level lower bounds (one pass over posting lists).
         let lb_clock = device.elapsed_seconds();
         let lb_sat = device.saturated_seconds();
         let bounds = {
             let _lb_span = smiler_obs::span("lb");
-            group::compute_group_bounds(device, &self.windex, &params.lengths, max_end)
+            group::compute_group_bounds(device, &self.windex, &self.params.lengths, max_end)
         };
         let lb_sim_seconds = device.elapsed_seconds() - lb_clock;
         let lb_saturated_seconds = device.saturated_seconds() - lb_sat;
 
-        let mut neighbors: Vec<Vec<Neighbor>> = Vec::with_capacity(params.lengths.len());
         let mut stats = SearchStats { lb_sim_seconds, lb_saturated_seconds, ..Default::default() };
         let mut scratch = std::mem::take(&mut self.scratch);
+        let outcome = self.search_items(device, &bounds, &mut scratch, &mut stats);
+        self.scratch = scratch;
+        let neighbors = outcome?;
 
-        for (i, &d) in params.lengths.iter().enumerate() {
+        stats.total_sim_seconds = device.elapsed_seconds() - start_clock;
+        stats.total_saturated_seconds = device.saturated_seconds() - start_saturated;
+        let neighbors = Arc::new(neighbors);
+        self.prev_neighbors = Some(Arc::clone(&neighbors));
+        Ok(SearchOutput { neighbors, stats })
+    }
+
+    /// The per-item-query filter → verify → select loop of one search, with
+    /// the scratch workspaces borrowed out of `self` so
+    /// [`SmilerIndex::try_search`] restores them exactly once whether the
+    /// loop succeeds or fails.
+    fn search_items(
+        &self,
+        device: &Device,
+        bounds: &group::GroupBounds,
+        scratch: &mut SearchScratch,
+        stats: &mut SearchStats,
+    ) -> Result<Vec<Vec<Neighbor>>, SearchError> {
+        let rho = self.params.rho;
+        let k = self.params.k_max;
+        let mut neighbors: Vec<Vec<Neighbor>> = Vec::with_capacity(self.params.lengths.len());
+
+        for (i, &d) in self.params.lengths.iter().enumerate() {
             scratch.query.clear();
             scratch.query.extend_from_slice(self.item_query(d));
             bounds.mode_bounds_into(i, self.bound_mode, &mut scratch.lbw);
             let query = &scratch.query;
             let lbw = &scratch.lbw;
+
+            // A non-finite value inside the query suffix poisons every
+            // lower bound and every DTW distance at once. Item queries are
+            // nested suffixes (ELV ascending), so a poisoned *shortest*
+            // query means no item query can rank anything — a typed error.
+            // A longer query can be poisoned while shorter ones stay clean
+            // (the NaN sits further back); it alone degrades to an empty
+            // neighbour list.
+            if query.iter().any(|v| !v.is_finite()) {
+                if i == 0 {
+                    return Err(SearchError::NonFiniteQuery { length: d });
+                }
+                smiler_obs::count("search.nonfinite_query", "", 1);
+                stats.candidates.push(lbw.len());
+                stats.unfiltered.push(0);
+                neighbors.push(Vec::new());
+                continue;
+            }
             stats.candidates.push(lbw.len());
             if lbw.is_empty() {
                 neighbors.push(Vec::new());
@@ -358,11 +485,13 @@ impl SmilerIndex {
             let mut verified: Vec<(usize, f64)> = Vec::new();
             let to_verify = {
                 let _filter_span = smiler_obs::span("filter");
-                let tau = self.pick_threshold(device, i, d, query, lbw, k, &mut verified);
+                let tau = self.pick_threshold(device, i, d, query, lbw, k, &mut verified)?;
 
                 // Phase 2b: filter by τ. A pure scan — kept as its own launch
                 // so filtering and verification never mix in one kernel
-                // (§4.4).
+                // (§4.4). Non-finite bounds fail the `<= τ` comparison, so
+                // candidates poisoned by a NaN in the history are dropped
+                // here, mirroring `kselect`'s non-finite filtering.
                 let filter = device.launch(1, |ctx| {
                     ctx.read_global(lbw.len() as u64);
                     ctx.flops(lbw.len() as u64);
@@ -371,7 +500,7 @@ impl SmilerIndex {
                         .filter(|&t| lbw[t] <= tau && !skip.contains(&t))
                         .collect::<Vec<usize>>()
                 });
-                filter.results.into_iter().next().expect("one filter block")
+                single_block(filter.results)?
             };
 
             // Phase 2c: verification. `survived` counts the candidates the
@@ -386,18 +515,19 @@ impl SmilerIndex {
                 match self.verify_mode {
                     VerifyMode::Batch => {
                         let distances =
-                            verify_candidates(device, &self.series, query, rho, &to_verify);
+                            verify_candidates(device, &self.series, query, rho, &to_verify)?;
                         verified.extend(to_verify.iter().copied().zip(distances));
                     }
                     VerifyMode::Cascade => {
                         scratch.query_env.compute_into(&scratch.query, rho, &mut scratch.env);
                         // Tight bounds first: candidates are visited in
                         // ascending lower-bound order so the running k-th
-                        // best distance drops as fast as possible.
+                        // best distance drops as fast as possible. The filter
+                        // only passes finite bounds, for which `total_cmp`
+                        // agrees with the partial order — and it cannot panic
+                        // should a NaN ever slip through.
                         let mut order = to_verify;
-                        order.sort_unstable_by(|&a, &b| {
-                            lbw[a].partial_cmp(&lbw[b]).expect("bounds are finite")
-                        });
+                        order.sort_unstable_by(|&a, &b| lbw[a].total_cmp(&lbw[b]));
                         let (found, counts) = cascade_verify(
                             device,
                             &self.series,
@@ -407,7 +537,7 @@ impl SmilerIndex {
                             &order,
                             &verified,
                             k,
-                        );
+                        )?;
                         verified.extend(found);
                         if smiler_obs::enabled() {
                             smiler_obs::count("verify.cascade", "kim_pruned", counts.kim_pruned);
@@ -445,7 +575,7 @@ impl SmilerIndex {
             let picked = {
                 let _select_span = smiler_obs::span("select");
                 let sel = device.launch(1, |ctx| kselect::select_k_smallest(ctx, &dists, k));
-                sel.results.into_iter().next().expect("one selection block")
+                single_block(sel.results)?
             };
             neighbors.push(
                 picked
@@ -455,12 +585,7 @@ impl SmilerIndex {
             );
         }
 
-        stats.total_sim_seconds = device.elapsed_seconds() - start_clock;
-        stats.total_saturated_seconds = device.saturated_seconds() - start_saturated;
-        self.scratch = scratch;
-        let neighbors = Arc::new(neighbors);
-        self.prev_neighbors = Some(Arc::clone(&neighbors));
-        SearchOutput { neighbors, stats }
+        Ok(neighbors)
     }
 
     /// Threshold τ for item query `i`. Verified probes are appended to
@@ -475,39 +600,49 @@ impl SmilerIndex {
         lbw: &[f64],
         k: usize,
         verified: &mut Vec<(usize, f64)>,
-    ) -> f64 {
+    ) -> Result<f64, SearchError> {
         let rho = self.params.rho;
 
         // Continuous reuse (§4.3.3 method 2): the previous step's k-th NN
         // segment is probably still close; its DTW to the *current* query is
-        // a tight τ.
+        // a tight τ. A non-finite reuse distance — the segment now overlaps
+        // a poisoned stretch of history — falls through to cold-start
+        // probing instead of wiping the whole candidate set.
         if let Some(prev) = &self.prev_neighbors {
             if let Some(nb) = prev.get(i).and_then(|v| v.last()) {
                 let t = nb.start;
                 if t + d <= self.series.len() {
-                    let dist = verify_candidates(device, &self.series, query, rho, &[t]);
-                    verified.push((t, dist[0]));
-                    return dist[0];
+                    let dist = verify_candidates(device, &self.series, query, rho, &[t])?;
+                    if dist[0].is_finite() {
+                        verified.push((t, dist[0]));
+                        return Ok(dist[0]);
+                    }
                 }
             }
         }
 
         // Initial step: probe by lower-bound rank.
         if lbw.len() <= k {
-            return f64::INFINITY;
+            return Ok(f64::INFINITY);
         }
         let probes = device.launch(1, |ctx| match self.threshold {
             ThresholdStrategy::PaperKthLb => {
+                // `kselect` drops non-finite bounds, so fewer than k may
+                // remain; the largest surviving bound is still a usable rank
+                // probe, and no probes at all means nothing is rankable.
                 let sel = kselect::select_k_smallest(ctx, lbw, k);
-                vec![*sel.last().expect("k-th smallest exists")]
+                sel.last().map(|&t| vec![t]).unwrap_or_default()
             }
             ThresholdStrategy::ExactKBest => kselect::select_k_smallest(ctx, lbw, k),
         });
-        let probes = probes.results.into_iter().next().expect("one block");
-        let dists = verify_candidates(device, &self.series, query, rho, &probes);
+        let probes = single_block(probes.results)?;
+        let dists = verify_candidates(device, &self.series, query, rho, &probes)?;
+        // `f64::max` ignores NaN probe distances; a fully poisoned probe set
+        // leaves τ at −∞, which filters every candidate — nothing finite is
+        // rankable against segments that only match poisoned history.
         let tau = dists.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         verified.extend(probes.into_iter().zip(dists));
-        tau
+        Ok(tau)
     }
 }
 
@@ -521,22 +656,21 @@ pub(crate) fn verify_candidates(
     query: &[f64],
     rho: usize,
     starts: &[usize],
-) -> Vec<f64> {
+) -> Result<Vec<f64>, SearchError> {
     const THREADS: usize = 256;
     if starts.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let d = query.len();
     let blocks = starts.len().div_ceil(THREADS);
-    let report = device.launch(blocks, |ctx| {
+    let report = device.launch(blocks, |ctx| -> Result<Vec<f64>, smiler_gpu::SharedMemOverflow> {
         let lo = ctx.block_id() * THREADS;
         let hi = (lo + THREADS).min(starts.len());
         let lanes = hi - lo;
         // Query in shared (single precision on the real device) plus one
         // compressed matrix per thread.
         let matrix_bytes = 2 * (2 * rho + 2) * 4;
-        ctx.alloc_shared(d * 4 + lanes * matrix_bytes)
-            .expect("compressed matrix must fit shared memory");
+        ctx.alloc_shared(d * 4 + lanes * matrix_bytes)?;
         ctx.read_global(d as u64); // stage the query once per block
         let ops = smiler_dtw::dtw_ops_estimate(d, rho);
         let mut scratch = smiler_dtw::DtwScratch::with_rho(rho);
@@ -548,9 +682,13 @@ pub(crate) fn verify_candidates(
             out.push(smiler_dtw::dtw_compressed_with(query, &series[t..t + d], rho, &mut scratch));
         }
         ctx.sync();
-        out
+        Ok(out)
     });
-    report.results.into_iter().flatten().collect()
+    let mut all = Vec::with_capacity(starts.len());
+    for block in report.results {
+        all.extend(block?);
+    }
+    Ok(all)
 }
 
 /// Cascaded verification (one block): each candidate, visited in ascending
@@ -586,23 +724,27 @@ fn cascade_verify(
     starts: &[usize],
     seeds: &[(usize, f64)],
     k: usize,
-) -> (Vec<(usize, f64)>, CascadeCounts) {
+) -> Result<(Vec<(usize, f64)>, CascadeCounts), SearchError> {
     if starts.is_empty() {
-        return (Vec::new(), CascadeCounts::default());
+        return Ok((Vec::new(), CascadeCounts::default()));
     }
     let d = query.len();
-    let report = device.launch(1, |ctx| {
+    type CascadeBlock = Result<(Vec<(usize, f64)>, CascadeCounts), smiler_gpu::SharedMemOverflow>;
+    let report = device.launch(1, |ctx| -> CascadeBlock {
         // Query, its envelope, the staged candidate and one compressed
         // matrix live in shared memory. The cascade is sequential by
         // design: each verdict tightens the threshold for every later
         // candidate.
         let matrix_bytes = 2 * (2 * rho + 2) * 4;
-        ctx.alloc_shared(4 * d * 4 + matrix_bytes)
-            .expect("query, envelope, candidate and matrix must fit shared memory");
+        ctx.alloc_shared(4 * d * 4 + matrix_bytes)?;
         ctx.read_global(3 * d as u64); // stage query + envelope once
         let mut scratch = smiler_dtw::DtwScratch::with_rho(rho);
-        let mut best: Vec<f64> = seeds.iter().map(|&(_, dist)| dist).collect();
-        best.sort_unstable_by(|a, b| a.partial_cmp(b).expect("distances are finite"));
+        // Non-finite seed distances (threshold probes that hit poisoned
+        // history) cannot bound anything — drop them so τ stays a real
+        // k-th-best and `partition_point`'s sorted invariant holds.
+        let mut best: Vec<f64> =
+            seeds.iter().map(|&(_, dist)| dist).filter(|dist| dist.is_finite()).collect();
+        best.sort_unstable_by(f64::total_cmp);
         best.truncate(k);
         let mut counts = CascadeCounts::default();
         let mut out: Vec<(usize, f64)> = Vec::new();
@@ -636,19 +778,23 @@ fn cascade_verify(
                 Some(dist) => {
                     counts.dtw_full += 1;
                     out.push((t, dist));
-                    let pos = best.partition_point(|&b| b <= dist);
-                    if pos < k {
-                        best.insert(pos, dist);
-                        best.truncate(k);
+                    // A NaN distance (poisoned candidate) is reported but
+                    // never tightens τ — `kselect` drops it downstream.
+                    if dist.is_finite() {
+                        let pos = best.partition_point(|&b| b <= dist);
+                        if pos < k {
+                            best.insert(pos, dist);
+                            best.truncate(k);
+                        }
                     }
                 }
                 None => counts.dtw_abandoned += 1,
             }
         }
         ctx.sync();
-        (out, counts)
+        Ok((out, counts))
     });
-    report.results.into_iter().next().expect("one cascade block")
+    Ok(single_block(report.results)??)
 }
 
 #[cfg(test)]
@@ -687,9 +833,7 @@ mod tests {
                 distance: smiler_dtw::dtw_banded(query, &series[t..t + d], rho),
             })
             .collect();
-        all.sort_by(|a, b| {
-            a.distance.partial_cmp(&b.distance).unwrap().then(a.start.cmp(&b.start))
-        });
+        all.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.start.cmp(&b.start)));
         all.truncate(k);
         all
     }
@@ -882,6 +1026,65 @@ mod tests {
                 assert!(nb.start + d <= max_end, "item {i} neighbour past max_end");
             }
         }
+    }
+
+    #[test]
+    fn nan_in_history_degrades_instead_of_panicking() {
+        let device = Device::default_gpu();
+        let mut series = make_series(300, 11);
+        // Poison a stretch well before the query suffix.
+        series[40] = f64::NAN;
+        series[41] = f64::NAN;
+        let params = small_params();
+        let max_end = series.len() - 5;
+        let mut index = SmilerIndex::build(&device, series.clone(), params.clone());
+        let out = index.search(&device, max_end);
+        // Clean candidates are still ranked exactly; poisoned ones (any
+        // segment overlapping the NaNs) are dropped, never returned.
+        for (i, &d) in params.lengths.iter().enumerate() {
+            assert!(!out.neighbors[i].is_empty(), "item {i} lost all neighbours");
+            for nb in &out.neighbors[i] {
+                assert!(nb.distance.is_finite(), "item {i} returned a NaN distance");
+                assert!(
+                    nb.start >= 42 || nb.start + d <= 40,
+                    "item {i} returned a poisoned segment at {}",
+                    nb.start
+                );
+            }
+        }
+        // Continuous steps keep absorbing values without panicking even
+        // though the reuse state may reference poisoned segments.
+        for &v in &make_series(5, 13) {
+            index.advance(&device, v);
+            let out = index.search(&device, index.series().len() - 5);
+            assert_eq!(out.neighbors.len(), params.lengths.len());
+        }
+    }
+
+    #[test]
+    fn nan_in_query_suffix_is_a_typed_error() {
+        let device = Device::default_gpu();
+        let series = make_series(300, 12);
+        let params = small_params();
+        let mut index = SmilerIndex::build(&device, series.clone(), params.clone());
+        // Poison the shortest item query (the last 8 values).
+        index.advance(&device, f64::NAN);
+        let err = index.try_search(&device, index.series().len() - 5);
+        match err {
+            Err(SearchError::NonFiniteQuery { length }) => {
+                assert_eq!(length, params.lengths[0]);
+            }
+            other => panic!("expected NonFiniteQuery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn max_end_beyond_history_is_a_typed_error() {
+        let device = Device::default_gpu();
+        let series = make_series(120, 14);
+        let mut index = SmilerIndex::build(&device, series, small_params());
+        let err = index.try_search(&device, 121);
+        assert!(matches!(err, Err(SearchError::MaxEndBeyondHistory { max_end: 121, len: 120 })));
     }
 
     #[test]

@@ -89,7 +89,17 @@ pub fn read_series(reader: impl Read, column: Option<&str>) -> Result<Vec<f64>, 
                 continue; // unnamed header row
             }
         }
-        let p = col_index.expect("set above");
+        let p = match col_index {
+            Some(p) => p,
+            // Unreachable by construction (the first row either resolves
+            // the column or errors), but a named column must never fall
+            // back to an arbitrary one.
+            None => {
+                return Err(IoError::MissingColumn {
+                    column: column.unwrap_or("<first>").to_string(),
+                });
+            }
+        };
         let cell = cells.get(p).copied().unwrap_or("");
         let v: f64 =
             cell.parse().map_err(|_| IoError::Parse { line: idx + 1, text: cell.to_string() })?;
@@ -143,6 +153,18 @@ mod tests {
         let input = "a,b\n1,2\n";
         let err = read_series(input.as_bytes(), Some("c")).unwrap_err();
         assert!(matches!(err, IoError::MissingColumn { .. }));
+    }
+
+    #[test]
+    fn named_column_on_headerless_csv_is_a_typed_error() {
+        // No header row at all: a named column cannot be resolved and the
+        // error must carry the requested name, not panic or misread.
+        let input = "1,2\n3,4\n";
+        match read_series(input.as_bytes(), Some("speed")).unwrap_err() {
+            IoError::MissingColumn { column } => assert_eq!(column, "speed"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(read_series("# comment only\n5,6\n".as_bytes(), Some("occupancy")).is_err());
     }
 
     #[test]
