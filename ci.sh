@@ -21,7 +21,10 @@ GATED_FILES=(
     crates/core/src/system.rs
     crates/core/src/sensor.rs
     crates/core/src/predictor.rs
+    crates/core/src/serve.rs
     crates/index/src/search.rs
+    crates/index/src/scan.rs
+    crates/index/src/fleet.rs
 )
 GATE_FAIL=0
 for f in "${GATED_FILES[@]}"; do
@@ -47,6 +50,13 @@ if [[ "$QUICK" == "1" ]]; then
 
     echo "==> cargo test --test fault_tolerance"
     cargo test -p smiler-core --test fault_tolerance
+
+    echo "==> cargo test --test serving"
+    cargo test -p smiler-core --test serving
+
+    # The load-generating bench entry points must at least compile.
+    echo "==> cargo build -p smiler-bench (bench-serve compile check)"
+    cargo build -p smiler-bench --bin expt
 else
     echo "==> cargo build --workspace --release"
     cargo build --workspace --release

@@ -23,7 +23,8 @@ use std::path::PathBuf;
 const USAGE: &str =
     "usage: expt <table3|fig7|fig8|fig9|fig10|fig11|table4|fig12|fig13|ablation|all> \
      [--smoke] [--metrics-out <path>] [--trace-out <path>]\n\
-     \x20      expt bench-step [--smoke] [--out <path>]   per-step latency snapshot";
+     \x20      expt bench-step [--smoke] [--out <path>]   per-step latency snapshot\n\
+     \x20      expt bench-serve [--smoke] [--out <path>]  serving-throughput snapshot";
 
 fn main() {
     let mut smoke = false;
@@ -86,6 +87,37 @@ fn main() {
             report.step.median_ms,
             report.step.p95_ms,
             report.search.median_ms,
+            path.display()
+        );
+        return;
+    }
+    // bench-serve snapshots the sharded serving frontend: micro-batched vs
+    // per-request mode on the same trace, with simulated launch counts.
+    if ids.iter().any(|i| i == "bench-serve") {
+        let scale = if smoke {
+            smiler_bench::servebench::ServeBenchScale::smoke()
+        } else {
+            smiler_bench::servebench::ServeBenchScale::default_scale()
+        };
+        let report = smiler_bench::servebench::run(scale);
+        let json = serde_json::to_string_pretty(&report).expect("report serialises");
+        let path = out_path.unwrap_or_else(|| PathBuf::from("results/BENCH_serve.json"));
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        std::fs::write(&path, format!("{json}\n")).unwrap_or_else(|e| {
+            eprintln!("could not write {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        println!(
+            "bench-serve: batched {:.1} req/s ({} launches, mean batch {:.2}) vs per-request \
+             {:.1} req/s ({} launches) -> {:.2}x launch amortisation -> {}",
+            report.batched.load.throughput_rps,
+            report.batched.kernel_launches,
+            report.batched.mean_batch_size,
+            report.per_request.load.throughput_rps,
+            report.per_request.kernel_launches,
+            report.launch_amortisation,
             path.display()
         );
         return;

@@ -120,7 +120,8 @@ pub fn fig7(scale: &ExptScale) -> Vec<Measurement> {
         for &k in &ks {
             let idx = run_smiler_idx(&dataset, k, BoundMode::En, scale.search_steps);
             let dir = run_scan(&dataset, scale.search_steps, true, |dev, series, max_end| {
-                scan::smiler_dir(dev, series, &ELV, k, RHO, max_end);
+                scan::smiler_dir(dev, series, &ELV, k, RHO, max_end)
+                    .expect("smiler_dir fits the device");
             });
             let fast_gpu = run_scan(&dataset, scale.search_steps, true, |dev, series, max_end| {
                 scan::fast_gpu_scan(dev, series, &ELV, k, RHO, max_end);
@@ -236,7 +237,8 @@ pub fn fig8(scale: &ExptScale) -> Vec<Measurement> {
             for &v in &future {
                 history.push(v);
                 let max_end = history.len() - H_MAX;
-                let (_, lb_s) = scan::smiler_dir(&device, &history, &ELV, 32, RHO, max_end);
+                let (_, lb_s) = scan::smiler_dir(&device, &history, &ELV, 32, RHO, max_end)
+                    .expect("smiler_dir fits the device");
                 dir_lb += lb_s;
             }
         }

@@ -20,6 +20,7 @@ use smiler_timeseries::SensorDataset;
 
 pub mod experiments;
 pub mod report;
+pub mod servebench;
 pub mod stepbench;
 
 /// How large to make each experiment's dataset.

@@ -1,0 +1,171 @@
+//! Serving-throughput snapshot: the repo's load-serving trajectory tracker.
+//!
+//! `expt bench-serve` builds a synthetic road fleet, serves an identical
+//! closed-loop trace twice through `smiler_core::serve` — once with
+//! micro-batching on (concurrently queued forecasts on a shard share one
+//! fleet search) and once in per-request mode (`max_batch = 1`) — and
+//! writes `BENCH_serve.json` with both runs' throughput, latency
+//! percentiles and simulated GPU launch counts. The committed snapshot is
+//! the baseline against which serving-path PRs are judged: the batched run
+//! must keep strictly fewer launches for the same trace.
+
+use serde::Serialize;
+use smiler_core::serve::{run_load, LoadGen, LoadReport, ServeConfig, SmilerServer};
+use smiler_core::{PredictorKind, SensorPredictor, SmilerConfig};
+use smiler_gpu::Device;
+use smiler_timeseries::synthetic::{DatasetKind, SyntheticSpec};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Scale of one bench-serve run.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ServeBenchScale {
+    /// Sensors in the fleet.
+    pub sensors: usize,
+    /// Days of road history per sensor.
+    pub days: usize,
+    /// Shard workers.
+    pub shards: usize,
+    /// Closed-loop client threads.
+    pub clients: usize,
+    /// Forecasts per client.
+    pub requests_per_client: usize,
+}
+
+impl ServeBenchScale {
+    /// Default scale: enough concurrency that shard queues actually hold
+    /// several requests at once, small enough for CLI time.
+    pub fn default_scale() -> Self {
+        ServeBenchScale { sensors: 12, days: 4, shards: 2, clients: 8, requests_per_client: 24 }
+    }
+
+    /// CI-sized smoke scale.
+    pub fn smoke() -> Self {
+        ServeBenchScale { sensors: 6, days: 2, shards: 2, clients: 4, requests_per_client: 6 }
+    }
+}
+
+/// One serving mode's measurements.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeModeReport {
+    /// `max_batch` the server ran with (1 = per-request serving).
+    pub max_batch: usize,
+    /// The load generator's view of the run.
+    pub load: LoadReport,
+    /// Mean micro-batch size actually achieved.
+    pub mean_batch_size: f64,
+    /// Requests shed at admission (server-side counter).
+    pub shed: u64,
+    /// Simulated GPU kernel launches over the whole run.
+    pub kernel_launches: u64,
+    /// Total blocks across those launches (grid widths summed).
+    pub blocks_launched: u64,
+}
+
+/// The committed `BENCH_serve.json` record.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeBenchReport {
+    /// Record identifier.
+    pub bench: String,
+    /// The run's scale parameters.
+    pub scale: ServeBenchScale,
+    /// Micro-batched serving run.
+    pub batched: ServeModeReport,
+    /// Per-request serving run (same trace, `max_batch = 1`).
+    pub per_request: ServeModeReport,
+    /// `per_request.kernel_launches / batched.kernel_launches` — the
+    /// launch amortisation micro-batching buys.
+    pub launch_amortisation: f64,
+}
+
+fn build_fleet(device: &Arc<Device>, scale: &ServeBenchScale) -> Vec<SensorPredictor> {
+    let dataset = SyntheticSpec {
+        kind: DatasetKind::Road,
+        sensors: scale.sensors,
+        days: scale.days,
+        seed: 2015,
+    }
+    .generate();
+    let config = SmilerConfig { h_max: 4, ..Default::default() };
+    dataset
+        .sensors
+        .iter()
+        .enumerate()
+        .map(|(id, s)| {
+            let (normalised, _) = smiler_timeseries::normalize::z_normalize(s.values());
+            SensorPredictor::new(
+                Arc::clone(device),
+                id,
+                normalised,
+                config.clone(),
+                PredictorKind::Aggregation,
+            )
+        })
+        .collect()
+}
+
+fn run_mode(scale: &ServeBenchScale, max_batch: usize) -> ServeModeReport {
+    let device = Arc::new(Device::default_gpu());
+    let fleet = build_fleet(&device, scale);
+    device.reset_clock();
+    let config = ServeConfig {
+        shards: scale.shards,
+        queue_capacity: 64,
+        max_batch,
+        batch_window: Duration::from_millis(2),
+        ..ServeConfig::default()
+    };
+    let server = SmilerServer::start(Arc::clone(&device), fleet, config);
+    let handle = server.handle();
+    let gen = LoadGen {
+        clients: scale.clients,
+        requests_per_client: scale.requests_per_client,
+        horizon: 1,
+        qps: None,
+        deadline: None,
+    };
+    let load = run_load(&handle, &gen);
+    let stats = server.shutdown();
+    ServeModeReport {
+        max_batch,
+        load,
+        mean_batch_size: stats.mean_batch_size(),
+        shed: stats.shed,
+        kernel_launches: device.kernel_launches(),
+        blocks_launched: device.blocks_launched(),
+    }
+}
+
+/// Run the serving benchmark in both modes and return the report.
+pub fn run(scale: ServeBenchScale) -> ServeBenchReport {
+    let batched = run_mode(&scale, 16);
+    let per_request = run_mode(&scale, 1);
+    let amortisation = per_request.kernel_launches as f64 / batched.kernel_launches.max(1) as f64;
+    ServeBenchReport {
+        bench: "serve".to_string(),
+        scale,
+        batched,
+        per_request,
+        launch_amortisation: amortisation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_sane_report() {
+        let report = run(ServeBenchScale::smoke());
+        assert_eq!(report.bench, "serve");
+        let total = (ServeBenchScale::smoke().clients
+            * ServeBenchScale::smoke().requests_per_client) as u64;
+        let accounted = |l: &LoadReport| l.ok + l.shed + l.errors;
+        assert_eq!(accounted(&report.batched.load), total);
+        assert_eq!(accounted(&report.per_request.load), total);
+        assert!(report.batched.load.throughput_rps > 0.0);
+        // Per-request mode never batches.
+        assert!(report.per_request.mean_batch_size <= 1.0 + 1e-9);
+        assert!(report.batched.kernel_launches > 0);
+    }
+}

@@ -8,6 +8,7 @@ use smiler_baselines::linear::{self, LinearConfig};
 use smiler_baselines::SeriesPredictor;
 use smiler_core::eval::{evaluate, EvalConfig};
 use smiler_core::sensor::{SmilerConfig, SmilerForecaster};
+use smiler_core::serve::{run_load, LoadGen, ServeConfig, SmilerServer};
 use smiler_core::{PredictorKind, RequestPolicy, SensorPredictor};
 use smiler_gpu::Device;
 use smiler_timeseries::io;
@@ -62,10 +63,22 @@ USAGE:
   smiler evaluate --input <file> [--column <name>] [--steps 50]
                   [--horizons 1,5,10] [--models smiler-gp,smiler-ar,lazyknn,...]
   smiler generate --dataset road|mall|net [--days 14] [--seed 7]
+  smiler serve --shards <N> [--qps <rate>] [--sensors 8] [--clients 4]
+               [--requests 64] [--horizon 1] [--deadline-ms <ms>]
+               [--max-batch 16] [--queue 64] [--predictor gp|ar]
+               [--dataset road|mall|net] [--days 2] [--seed 7]
   smiler info
 
 Series files are one-value-per-line or CSV (use --column for a named CSV
 column). Forecasts are printed in the input's units.
+
+LOAD SERVING (serve):
+  Partitions a synthetic sensor fleet across --shards worker threads and
+  drives it with closed-loop clients (optionally paced to an aggregate
+  --qps). Concurrently queued forecasts on a shard are micro-batched into
+  one fleet search — one simulated GPU launch per phase serves many
+  sensors. A full shard queue sheds requests with a typed Overloaded
+  error; --max-batch 1 disables batching for comparison.
 
 SERVING (forecast):
   --deadline-ms <ms>     per-request latency budget; requests degrade down
@@ -98,6 +111,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         Some("forecast") => forecast(args),
         Some("evaluate") => evaluate_cmd(args),
         Some("generate") => generate(args),
+        Some("serve") => serve(args),
         Some("info") => Ok(info()),
         Some(other) => Err(CliError::Other(format!("unknown command {other:?}\n\n{USAGE}"))),
         None => Ok(USAGE.to_string()),
@@ -306,6 +320,104 @@ fn generate(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `smiler serve`: sharded load-serving over a synthetic fleet.
+fn serve(args: &Args) -> Result<String, CliError> {
+    let shards: usize = args.get_or("shards", 2)?;
+    let sensors: usize = args.get_or("sensors", 8)?;
+    let clients: usize = args.get_or("clients", 4)?;
+    let requests: usize = args.get_or("requests", 64)?;
+    let horizon: usize = args.get_or("horizon", 1)?;
+    let max_batch: usize = args.get_or("max-batch", 16)?;
+    let queue: usize = args.get_or("queue", 64)?;
+    let days: usize = args.get_or("days", 2)?;
+    let seed: u64 = args.get_or("seed", 7)?;
+    let qps: Option<f64> = match args.get("qps") {
+        Some(s) => Some(s.parse().map_err(|_| CliError::Other(format!("invalid --qps {s:?}")))?),
+        None => None,
+    };
+    let deadline = match args.get("deadline-ms") {
+        Some(s) => Some(std::time::Duration::from_millis(
+            s.parse().map_err(|_| CliError::Other(format!("invalid --deadline-ms {s:?}")))?,
+        )),
+        None => None,
+    };
+    let predictor_kind = match args.get("predictor").unwrap_or("ar") {
+        "gp" => PredictorKind::GaussianProcess,
+        "ar" => PredictorKind::Aggregation,
+        other => return Err(CliError::Other(format!("unknown predictor {other:?} (gp|ar)"))),
+    };
+    let kind = match args.get("dataset").unwrap_or("road") {
+        "road" => DatasetKind::Road,
+        "mall" => DatasetKind::Mall,
+        "net" => DatasetKind::Net,
+        other => return Err(CliError::Other(format!("unknown dataset {other:?} (road|mall|net)"))),
+    };
+
+    let dataset = SyntheticSpec { kind, sensors, days, seed }.generate();
+    let config = SmilerConfig { h_max: horizon.max(1), ..Default::default() };
+    let device = Arc::new(Device::default_gpu());
+    let fleet: Vec<SensorPredictor> = dataset
+        .sensors
+        .iter()
+        .enumerate()
+        .map(|(id, s)| {
+            let (normalised, _) = smiler_timeseries::normalize::z_normalize(s.values());
+            SensorPredictor::new(
+                Arc::clone(&device),
+                id,
+                normalised,
+                config.clone(),
+                predictor_kind,
+            )
+        })
+        .collect();
+
+    let serve_config =
+        ServeConfig { shards, queue_capacity: queue, max_batch, ..ServeConfig::default() };
+    device.reset_clock();
+    let server = SmilerServer::start(Arc::clone(&device), fleet, serve_config);
+    let handle = server.handle();
+    let gen = LoadGen { clients, requests_per_client: requests, horizon, qps, deadline };
+    let report = run_load(&handle, &gen);
+    let stats = server.shutdown();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "served {} sensors across {shards} shards (queue {queue}, max batch {max_batch})",
+        sensors
+    );
+    let _ = writeln!(
+        out,
+        "requests: {} issued, {} ok, {} shed, {} errors",
+        report.requests, report.ok, report.shed, report.errors
+    );
+    let _ = writeln!(
+        out,
+        "throughput: {:.1} req/s over {:.2} s",
+        report.throughput_rps, report.elapsed_seconds
+    );
+    let _ = writeln!(
+        out,
+        "latency ms: p50 {:.2}  p95 {:.2}  p99 {:.2}  max {:.2}",
+        report.latency_p50_ms, report.latency_p95_ms, report.latency_p99_ms, report.latency_max_ms
+    );
+    let _ = writeln!(
+        out,
+        "micro-batching: {} batches, mean size {:.2}, {} timeouts",
+        stats.batches,
+        stats.mean_batch_size(),
+        stats.timeouts
+    );
+    let _ = writeln!(
+        out,
+        "device: {} kernel launches, {} blocks",
+        device.kernel_launches(),
+        device.blocks_launched()
+    );
+    Ok(out)
+}
+
 /// `smiler info`: defaults and provenance.
 fn info() -> String {
     let c = SmilerConfig::default();
@@ -496,6 +608,29 @@ mod tests {
         let err = run(&args(&["forecast", "--input", path.to_str().unwrap()])).unwrap_err();
         assert!(err.to_string().contains("need at least"));
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn serve_reports_throughput_and_batching() {
+        let s = run(&args(&[
+            "serve",
+            "--shards",
+            "2",
+            "--sensors",
+            "4",
+            "--clients",
+            "2",
+            "--requests",
+            "6",
+            "--days",
+            "1",
+        ]))
+        .unwrap();
+        assert!(s.contains("2 shards"), "{s}");
+        assert!(s.contains("12 issued"), "{s}");
+        assert!(s.contains("throughput"), "{s}");
+        assert!(s.contains("micro-batching"), "{s}");
+        assert!(s.contains("kernel launches"), "{s}");
     }
 
     #[test]

@@ -59,6 +59,25 @@ impl DegradationLevel {
     pub fn at_least(self, other: DegradationLevel) -> DegradationLevel {
         self.max(other)
     }
+
+    /// The entry rung a serving queue at `depth`/`capacity` should impose:
+    /// below half full nothing degrades, then each quarter of remaining
+    /// headroom steps one rung down the ladder. A full (or zero-capacity)
+    /// queue maps to the last-value hold — the same rung shed callers are
+    /// told to fall back to ([`ServeError::shed_level`]).
+    ///
+    /// [`ServeError::shed_level`]: crate::serve::ServeError::shed_level
+    pub fn for_queue_pressure(depth: usize, capacity: usize) -> DegradationLevel {
+        if capacity == 0 || depth >= capacity {
+            DegradationLevel::LastValue
+        } else if depth * 2 < capacity {
+            DegradationLevel::FullEnsemble
+        } else if depth * 4 < capacity * 3 {
+            DegradationLevel::CachedHyper
+        } else {
+            DegradationLevel::Aggregation
+        }
+    }
 }
 
 /// Per-request serving policy: how much latency the request may spend and

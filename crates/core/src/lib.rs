@@ -47,6 +47,7 @@ pub mod ensemble;
 pub mod eval;
 pub mod predictor;
 pub mod sensor;
+pub mod serve;
 pub mod snapshot;
 pub mod stream;
 pub mod system;
@@ -55,6 +56,10 @@ pub use degrade::{DegradationLevel, ErrorState, PredictError, Prediction, Reques
 pub use ensemble::{EnsembleConfig, EnsembleMatrix, EnsembleMode};
 pub use predictor::{ArPredictor, GpCellPredictor, KnnData, PredictorKind};
 pub use sensor::{FaultKind, SensorPredictor, SmilerConfig};
+pub use serve::{
+    run_load, LoadGen, LoadReport, PendingForecast, ServeConfig, ServeError, ServeHandle,
+    ServeStatsSnapshot, SmilerServer,
+};
 pub use snapshot::{HorizonSnapshot, SensorSnapshot};
 pub use stream::{Forecast, SensorStream, StreamError};
 pub use system::{SensorFault, SensorHealth, SmilerSystem};

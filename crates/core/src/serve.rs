@@ -1,0 +1,799 @@
+//! Sharded serving frontend with request micro-batching.
+//!
+//! The library's fleet APIs ([`crate::SmilerSystem`]) are synchronous: one
+//! caller drives every sensor in lockstep. A deployment serving heavy
+//! traffic looks different — many concurrent clients each asking about one
+//! sensor — and that shape is exactly where the fleet-batched search
+//! ([`smiler_index::try_fleet_search`]) pays off, *if* something gathers
+//! concurrent requests back into batches. This module is that something:
+//!
+//! * the fleet is **partitioned across N shard workers** (sensor `s` lives
+//!   on shard `s % N`), each owning its sensors outright — no locks on the
+//!   request path;
+//! * requests enter through **bounded MPMC queues**; a full queue returns
+//!   a typed [`ServeError::Overloaded`] immediately (admission control —
+//!   the caller sheds to [`DegradationLevel::LastValue`] locally rather
+//!   than blocking) and queue pressure below the shed point maps onto the
+//!   degradation ladder via [`DegradationLevel::for_queue_pressure`];
+//! * a worker **micro-batches** forecasts queued concurrently on its
+//!   shard: it collects up to `max_batch` requests inside a short batch
+//!   window and runs ONE fleet search for all their sensors — one
+//!   simulated GPU launch per phase serves many sensors' suffix queries;
+//! * per-request **deadlines propagate** into the worker's
+//!   [`RequestPolicy`]: the budget remaining after queueing is what the
+//!   ladder checkpoints see, so a request that waited too long degrades
+//!   instead of overshooting;
+//! * a sensor that panics is **quarantined shard-locally** (the PR 3
+//!   boundary) and its shard keeps draining — one poisoned sensor never
+//!   stalls a queue;
+//! * shutdown **drains**: queued requests complete, then workers exit;
+//!   late requests get a typed [`ServeError::ShuttingDown`].
+//!
+//! Observability (`serve.*`): per-shard queue-depth gauges, a batch-size
+//! histogram, shed/timeout counters, per-batch spans and end-to-end
+//! request latency.
+
+use crate::degrade::{DegradationLevel, Prediction, RequestPolicy};
+use crate::sensor::SensorPredictor;
+use crate::system::{panic_message, SensorFault, SensorHealth};
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError, TrySendError};
+use smiler_gpu::Device;
+use smiler_index::{try_fleet_search, SearchOutput, SmilerIndex};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of the serving frontend.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Number of shard workers the fleet is partitioned across.
+    pub shards: usize,
+    /// Bounded queue capacity per shard; a full queue sheds load with
+    /// [`ServeError::Overloaded`] instead of blocking.
+    pub queue_capacity: usize,
+    /// Most forecasts one micro-batch may serve with a single fleet
+    /// search. `1` disables batching (per-request serving).
+    pub max_batch: usize,
+    /// How long a worker waits for more concurrent requests before closing
+    /// a micro-batch smaller than `max_batch`. Zero closes immediately.
+    pub batch_window: Duration,
+    /// Base policy for every request; per-request deadlines override
+    /// `policy.deadline` with the budget remaining after queueing, and
+    /// queue pressure can only push `policy.entry_level` further down the
+    /// ladder.
+    pub policy: RequestPolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 4,
+            queue_capacity: 64,
+            max_batch: 16,
+            batch_window: Duration::from_micros(500),
+            policy: RequestPolicy::default(),
+        }
+    }
+}
+
+/// Typed errors of the serving frontend. Admission-control errors are
+/// returned to the *caller* — the server itself never blocks or panics on
+/// them.
+#[derive(Debug, Clone)]
+pub enum ServeError {
+    /// The shard's queue was full; the request was shed at admission.
+    /// Callers should degrade locally ([`ServeError::shed_level`]).
+    Overloaded {
+        /// The shard whose queue was full.
+        shard: usize,
+        /// Queue depth observed at rejection.
+        depth: usize,
+        /// The queue's capacity.
+        capacity: usize,
+    },
+    /// The sensor id is outside the fleet.
+    UnknownSensor {
+        /// The requested sensor id.
+        sensor: usize,
+        /// Number of sensors the server owns.
+        fleet: usize,
+    },
+    /// The server is draining or already stopped.
+    ShuttingDown,
+    /// The sensor could not serve the request (typed fault, quarantine, or
+    /// a panic that just quarantined it).
+    Fault(SensorFault),
+}
+
+impl ServeError {
+    /// The ladder rung a shed caller should degrade to while the server is
+    /// saturated: the last-value hold needs no server round-trip at all.
+    /// `None` for errors that are not load-shedding.
+    pub fn shed_level(&self) -> Option<DegradationLevel> {
+        match self {
+            ServeError::Overloaded { .. } => Some(DegradationLevel::LastValue),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { shard, depth, capacity } => {
+                write!(f, "shard {shard} overloaded: queue {depth}/{capacity}")
+            }
+            ServeError::UnknownSensor { sensor, fleet } => {
+                write!(f, "sensor {sensor} outside fleet of {fleet}")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Fault(fault) => write!(f, "sensor fault: {fault}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Fault(fault) => Some(fault),
+            _ => None,
+        }
+    }
+}
+
+/// One queued forecast request.
+struct ForecastJob {
+    sensor: usize,
+    h: usize,
+    deadline: Option<Instant>,
+    enqueued: Instant,
+    reply: Sender<Result<Prediction, ServeError>>,
+}
+
+/// One queued observation.
+struct ObserveJob {
+    sensor: usize,
+    value: f64,
+    reply: Sender<Result<(), ServeError>>,
+}
+
+enum ShardMsg {
+    Forecast(ForecastJob),
+    Observe(ObserveJob),
+    Shutdown,
+}
+
+/// Shared serving counters (lock-free; read by [`SmilerServer::stats`]).
+#[derive(Debug, Default)]
+struct ServeStats {
+    served: AtomicU64,
+    shed: AtomicU64,
+    timeouts: AtomicU64,
+    faults: AtomicU64,
+    observed: AtomicU64,
+    batches: AtomicU64,
+    batched_forecasts: AtomicU64,
+}
+
+/// A point-in-time snapshot of the serving counters.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct ServeStatsSnapshot {
+    /// Forecasts served (any rung, including degraded ones).
+    pub served: u64,
+    /// Requests rejected at admission because a queue was full.
+    pub shed: u64,
+    /// Requests whose deadline had fully expired while queued.
+    pub timeouts: u64,
+    /// Requests answered with a typed fault (quarantine, panic, error).
+    pub faults: u64,
+    /// Observations absorbed.
+    pub observed: u64,
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// Forecasts served through micro-batches (Σ batch sizes).
+    pub batched_forecasts: u64,
+}
+
+impl ServeStatsSnapshot {
+    /// Mean micro-batch size — the launch-amortisation factor.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_forecasts as f64 / self.batches as f64
+        }
+    }
+}
+
+impl ServeStats {
+    fn snapshot(&self) -> ServeStatsSnapshot {
+        ServeStatsSnapshot {
+            served: self.served.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            faults: self.faults.load(Ordering::Relaxed),
+            observed: self.observed.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_forecasts: self.batched_forecasts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A forecast submitted but not yet answered. Dropping it abandons the
+/// request (the worker's reply is discarded).
+pub struct PendingForecast {
+    rx: Receiver<Result<Prediction, ServeError>>,
+}
+
+impl PendingForecast {
+    /// Block until the shard worker answers. A worker that exited before
+    /// answering (shutdown race) reads as [`ServeError::ShuttingDown`].
+    pub fn wait(self) -> Result<Prediction, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
+    }
+}
+
+/// Clonable client handle: routes requests to shard queues.
+#[derive(Clone)]
+pub struct ServeHandle {
+    senders: Vec<Sender<ShardMsg>>,
+    fleet: usize,
+    stats: Arc<ServeStats>,
+}
+
+impl ServeHandle {
+    /// Forecast horizon `h` for `sensor`, blocking until served.
+    pub fn forecast(&self, sensor: usize, h: usize) -> Result<Prediction, ServeError> {
+        self.submit_forecast(sensor, h, None)?.wait()
+    }
+
+    /// Forecast with a latency budget measured from *now* (so queueing time
+    /// counts against it — the worker sees only the remaining budget).
+    pub fn forecast_with_deadline(
+        &self,
+        sensor: usize,
+        h: usize,
+        budget: Duration,
+    ) -> Result<Prediction, ServeError> {
+        self.submit_forecast(sensor, h, Some(budget))?.wait()
+    }
+
+    /// Enqueue a forecast without waiting for the answer. Admission control
+    /// happens here: a full shard queue returns
+    /// [`ServeError::Overloaded`] immediately.
+    pub fn submit_forecast(
+        &self,
+        sensor: usize,
+        h: usize,
+        budget: Option<Duration>,
+    ) -> Result<PendingForecast, ServeError> {
+        if sensor >= self.fleet {
+            return Err(ServeError::UnknownSensor { sensor, fleet: self.fleet });
+        }
+        let shard = sensor % self.senders.len();
+        let now = Instant::now();
+        let (reply, rx) = channel::bounded(1);
+        let job =
+            ForecastJob { sensor, h, deadline: budget.map(|b| now + b), enqueued: now, reply };
+        match self.senders[shard].try_send(ShardMsg::Forecast(job)) {
+            Ok(()) => Ok(PendingForecast { rx }),
+            Err(TrySendError::Full(_)) => {
+                self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                if smiler_obs::enabled() {
+                    smiler_obs::count("serve.shed", &format!("shard={shard}"), 1);
+                }
+                Err(ServeError::Overloaded {
+                    shard,
+                    depth: self.senders[shard].len(),
+                    capacity: self.senders[shard].capacity(),
+                })
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Feed `sensor` one observed value, blocking until absorbed. Subject
+    /// to the same admission control as forecasts.
+    pub fn observe(&self, sensor: usize, value: f64) -> Result<(), ServeError> {
+        if sensor >= self.fleet {
+            return Err(ServeError::UnknownSensor { sensor, fleet: self.fleet });
+        }
+        let shard = sensor % self.senders.len();
+        let (reply, rx) = channel::bounded(1);
+        let job = ObserveJob { sensor, value, reply };
+        match self.senders[shard].try_send(ShardMsg::Observe(job)) {
+            Ok(()) => rx.recv().unwrap_or(Err(ServeError::ShuttingDown)),
+            Err(TrySendError::Full(_)) => {
+                self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                if smiler_obs::enabled() {
+                    smiler_obs::count("serve.shed", &format!("shard={shard}"), 1);
+                }
+                Err(ServeError::Overloaded {
+                    shard,
+                    depth: self.senders[shard].len(),
+                    capacity: self.senders[shard].capacity(),
+                })
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Number of sensors the server owns.
+    pub fn fleet_size(&self) -> usize {
+        self.fleet
+    }
+}
+
+/// The serving frontend: shard workers plus the client handle factory.
+pub struct SmilerServer {
+    handle: ServeHandle,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl SmilerServer {
+    /// Partition `sensors` across shard workers and start serving. Sensor
+    /// ids are their positions in `sensors`; sensor `s` lands on shard
+    /// `s % shards`.
+    pub fn start(device: Arc<Device>, sensors: Vec<SensorPredictor>, config: ServeConfig) -> Self {
+        let shards = config.shards.max(1);
+        let fleet = sensors.len();
+        let stats = Arc::new(ServeStats::default());
+
+        let mut partitions: Vec<Vec<SensorPredictor>> = Vec::new();
+        partitions.resize_with(shards, Vec::new);
+        for (id, sensor) in sensors.into_iter().enumerate() {
+            partitions[id % shards].push(sensor);
+        }
+
+        let mut senders = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for (shard, part) in partitions.into_iter().enumerate() {
+            let (tx, rx) = channel::bounded::<ShardMsg>(config.queue_capacity.max(1));
+            senders.push(tx);
+            let worker = ShardWorker {
+                shard,
+                shards,
+                device: Arc::clone(&device),
+                health: vec![SensorHealth::Healthy; part.len()],
+                sensors: part,
+                config,
+                stats: Arc::clone(&stats),
+                rx,
+            };
+            workers.push(std::thread::spawn(move || worker.run()));
+        }
+        SmilerServer { handle: ServeHandle { senders, fleet, stats }, workers }
+    }
+
+    /// A clonable client handle.
+    pub fn handle(&self) -> ServeHandle {
+        self.handle.clone()
+    }
+
+    /// Current serving counters.
+    pub fn stats(&self) -> ServeStatsSnapshot {
+        self.handle.stats.snapshot()
+    }
+
+    /// Graceful shutdown: every queued request completes (drain), then the
+    /// workers exit and are joined. Handles still held by clients answer
+    /// [`ServeError::ShuttingDown`] afterwards.
+    pub fn shutdown(self) -> ServeStatsSnapshot {
+        for tx in &self.handle.senders {
+            // A blocking send so the drain marker lands even on a full
+            // queue; a worker that already exited reads as disconnected.
+            let _ = tx.send(ShardMsg::Shutdown);
+        }
+        for worker in self.workers {
+            if let Err(payload) = worker.join() {
+                panic::resume_unwind(payload);
+            }
+        }
+        self.handle.stats.snapshot()
+    }
+}
+
+/// One shard: exclusive owner of its sensors, drained by a single thread.
+struct ShardWorker {
+    shard: usize,
+    shards: usize,
+    device: Arc<Device>,
+    sensors: Vec<SensorPredictor>,
+    health: Vec<SensorHealth>,
+    config: ServeConfig,
+    stats: Arc<ServeStats>,
+    rx: Receiver<ShardMsg>,
+}
+
+/// What [`ShardWorker::collect_batch`] found after the forecast run ended.
+enum BatchTail {
+    /// Queue empty (or window closed) — keep serving.
+    Continue,
+    /// A non-forecast message interrupted the run; handle it next.
+    Stashed(ShardMsg),
+    /// Shutdown was queued behind the batch; drain and exit.
+    Drain,
+}
+
+impl ShardWorker {
+    fn run(mut self) {
+        loop {
+            // Park until work arrives; all handles dropped also ends the
+            // shard (nothing can ever arrive again).
+            let msg = match self.rx.recv() {
+                Ok(msg) => msg,
+                Err(_) => break,
+            };
+            match msg {
+                ShardMsg::Shutdown => {
+                    self.drain();
+                    break;
+                }
+                ShardMsg::Observe(job) => self.serve_observe(job),
+                ShardMsg::Forecast(first) => {
+                    let (batch, tail) = self.collect_batch(first);
+                    self.serve_batch(batch);
+                    match tail {
+                        BatchTail::Continue => {}
+                        BatchTail::Stashed(ShardMsg::Observe(job)) => self.serve_observe(job),
+                        BatchTail::Stashed(_) | BatchTail::Drain => {
+                            self.drain();
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Gather a micro-batch: consecutive forecasts already queued, topped
+    /// up by waiting out the batch window for stragglers. An observation
+    /// or shutdown marker ends the run (order across request kinds is
+    /// preserved per shard).
+    fn collect_batch(&self, first: ForecastJob) -> (Vec<ForecastJob>, BatchTail) {
+        let mut batch = vec![first];
+        if self.config.max_batch <= 1 {
+            return (batch, BatchTail::Continue);
+        }
+        let window_closes = Instant::now() + self.config.batch_window;
+        while batch.len() < self.config.max_batch {
+            match self.rx.try_recv() {
+                Ok(ShardMsg::Forecast(job)) => batch.push(job),
+                Ok(ShardMsg::Shutdown) => return (batch, BatchTail::Drain),
+                Ok(msg) => return (batch, BatchTail::Stashed(msg)),
+                Err(TryRecvError::Disconnected) => return (batch, BatchTail::Continue),
+                Err(TryRecvError::Empty) => {
+                    let now = Instant::now();
+                    if now >= window_closes {
+                        return (batch, BatchTail::Continue);
+                    }
+                    match self.rx.recv_timeout(window_closes - now) {
+                        Ok(ShardMsg::Forecast(job)) => batch.push(job),
+                        Ok(ShardMsg::Shutdown) => return (batch, BatchTail::Drain),
+                        Ok(msg) => return (batch, BatchTail::Stashed(msg)),
+                        Err(RecvTimeoutError::Timeout) => return (batch, BatchTail::Continue),
+                        Err(RecvTimeoutError::Disconnected) => return (batch, BatchTail::Continue),
+                    }
+                }
+            }
+        }
+        (batch, BatchTail::Continue)
+    }
+
+    /// Serve one micro-batch: a single fleet search covers every distinct
+    /// healthy sensor in the batch that lacks a current cached search, then
+    /// each request predicts off the installed result.
+    fn serve_batch(&mut self, batch: Vec<ForecastJob>) {
+        let depth = self.rx.len();
+        let pressure = DegradationLevel::for_queue_pressure(depth, self.config.queue_capacity);
+        let _span = smiler_obs::span("serve.batch");
+        if smiler_obs::enabled() {
+            smiler_obs::gauge_set(
+                "serve.queue_depth",
+                &format!("shard={}", self.shard),
+                depth as f64,
+            );
+            smiler_obs::observe("serve.batch_size", "", batch.len() as f64);
+        }
+        self.stats.batches.fetch_add(1, Ordering::Relaxed);
+        self.stats.batched_forecasts.fetch_add(batch.len() as u64, Ordering::Relaxed);
+
+        if batch.len() > 1 {
+            self.batch_search(&batch);
+        }
+        for job in batch {
+            self.serve_forecast(job, pressure);
+        }
+    }
+
+    /// The amortised search: one [`try_fleet_search`] call for the batch's
+    /// distinct, healthy, search-stale sensors. An error slot is simply
+    /// not installed — that sensor's request re-searches (and degrades)
+    /// through its own `try_predict_with` path. A panic inside the fleet
+    /// launch falls back the same way; the per-request boundary below is
+    /// where quarantine happens.
+    fn batch_search(&mut self, batch: &[ForecastJob]) {
+        let mut locals: Vec<usize> = batch.iter().filter_map(|j| self.local_of(j.sensor)).collect();
+        locals.sort_unstable();
+        locals.dedup();
+        locals.retain(|&l| {
+            self.health[l] == SensorHealth::Healthy && !self.sensors[l].has_current_search()
+        });
+        if locals.len() < 2 {
+            return;
+        }
+        let max_ends: Vec<usize> =
+            locals.iter().map(|&l| self.sensors[l].search_max_end()).collect();
+        let slots = {
+            let mut refs: Vec<&mut SmilerIndex> = Vec::with_capacity(locals.len());
+            let mut remaining = &mut self.sensors[..];
+            let mut offset = 0usize;
+            for &l in &locals {
+                let (_, rest) = remaining.split_at_mut(l - offset);
+                let (target, rest) = rest.split_at_mut(1);
+                if let Some(sensor) = target.first_mut() {
+                    refs.push(sensor.index_mut());
+                }
+                remaining = rest;
+                offset = l + 1;
+            }
+            let device = &self.device;
+            panic::catch_unwind(AssertUnwindSafe(|| try_fleet_search(device, &mut refs, &max_ends)))
+        };
+        let slots: Vec<Result<SearchOutput, smiler_index::SearchError>> = match slots {
+            Ok(slots) => slots,
+            Err(_) => return,
+        };
+        for (&l, slot) in locals.iter().zip(slots) {
+            if let Ok(out) = slot {
+                self.sensors[l].install_search(out);
+            }
+        }
+    }
+
+    /// Serve one forecast behind the per-sensor panic boundary.
+    fn serve_forecast(&mut self, job: ForecastJob, pressure: DegradationLevel) {
+        let now = Instant::now();
+        let mut policy = self.config.policy;
+        policy.entry_level = policy.entry_level.at_least(pressure);
+        if let Some(deadline) = job.deadline {
+            let remaining = deadline.saturating_duration_since(now);
+            if remaining.is_zero() {
+                self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                smiler_obs::count("serve.timeout", "", 1);
+            }
+            policy.deadline = Some(remaining);
+        }
+
+        let Some(local) = self.local_of(job.sensor) else {
+            let _ = job.reply.try_send(Err(ServeError::UnknownSensor {
+                sensor: job.sensor,
+                fleet: self.shards * self.sensors.len(),
+            }));
+            return;
+        };
+        if let SensorHealth::Quarantined { message } = &self.health[local] {
+            self.stats.faults.fetch_add(1, Ordering::Relaxed);
+            let fault = SensorFault::Quarantined { message: message.clone() };
+            let _ = job.reply.try_send(Err(ServeError::Fault(fault)));
+            return;
+        }
+
+        let sensor = &mut self.sensors[local];
+        let outcome =
+            panic::catch_unwind(AssertUnwindSafe(|| sensor.try_predict_with(job.h, &policy)));
+        let reply = match outcome {
+            Ok(Ok(mut prediction)) => {
+                if job.deadline.is_some_and(|d| Instant::now() >= d) {
+                    prediction.deadline_missed = true;
+                }
+                self.stats.served.fetch_add(1, Ordering::Relaxed);
+                if smiler_obs::enabled() {
+                    smiler_obs::observe(
+                        "serve.latency_seconds",
+                        "",
+                        job.enqueued.elapsed().as_secs_f64(),
+                    );
+                }
+                Ok(prediction)
+            }
+            Ok(Err(e)) => {
+                self.stats.faults.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::Fault(SensorFault::Predict(e)))
+            }
+            Err(payload) => {
+                // Torn mid-update: fence the sensor off; the shard keeps
+                // draining for everyone else.
+                let message = panic_message(payload);
+                self.health[local] = SensorHealth::Quarantined { message: message.clone() };
+                self.stats.faults.fetch_add(1, Ordering::Relaxed);
+                smiler_obs::count("health.sensor_panic", "", 1);
+                Err(ServeError::Fault(SensorFault::Panicked { message }))
+            }
+        };
+        let _ = job.reply.try_send(reply);
+    }
+
+    /// Absorb one observation behind the same panic boundary.
+    fn serve_observe(&mut self, job: ObserveJob) {
+        let Some(local) = self.local_of(job.sensor) else {
+            let _ = job.reply.try_send(Err(ServeError::UnknownSensor {
+                sensor: job.sensor,
+                fleet: self.shards * self.sensors.len(),
+            }));
+            return;
+        };
+        if let SensorHealth::Quarantined { message } = &self.health[local] {
+            let fault = SensorFault::Quarantined { message: message.clone() };
+            let _ = job.reply.try_send(Err(ServeError::Fault(fault)));
+            return;
+        }
+        let sensor = &mut self.sensors[local];
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| sensor.observe(job.value)));
+        let reply = match outcome {
+            Ok(()) => {
+                self.stats.observed.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(payload) => {
+                let message = panic_message(payload);
+                self.health[local] = SensorHealth::Quarantined { message: message.clone() };
+                smiler_obs::count("health.sensor_panic", "", 1);
+                Err(ServeError::Fault(SensorFault::Panicked { message }))
+            }
+        };
+        let _ = job.reply.try_send(reply);
+    }
+
+    /// Complete everything already queued, then stop accepting.
+    fn drain(&mut self) {
+        loop {
+            match self.rx.try_recv() {
+                Ok(ShardMsg::Forecast(job)) => self.serve_batch(vec![job]),
+                Ok(ShardMsg::Observe(job)) => self.serve_observe(job),
+                Ok(ShardMsg::Shutdown) => {}
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Global sensor id → this shard's local index (`None` if the sensor
+    /// lives elsewhere or does not exist).
+    fn local_of(&self, sensor: usize) -> Option<usize> {
+        if sensor % self.shards != self.shard {
+            return None;
+        }
+        let local = sensor / self.shards;
+        (local < self.sensors.len()).then_some(local)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Closed-loop load generator (shared by the CLI `serve` subcommand and the
+// serving bench).
+// ---------------------------------------------------------------------------
+
+/// Closed-loop load-generation parameters: `clients` threads each issue
+/// `requests_per_client` forecasts round-robin over the fleet, waiting for
+/// each answer (optionally paced to an aggregate `qps`).
+#[derive(Debug, Clone, Copy)]
+pub struct LoadGen {
+    /// Concurrent closed-loop client threads.
+    pub clients: usize,
+    /// Forecasts each client issues.
+    pub requests_per_client: usize,
+    /// Forecast horizon.
+    pub horizon: usize,
+    /// Aggregate request-rate target; `None` runs unpaced (max pressure).
+    pub qps: Option<f64>,
+    /// Per-request latency budget handed to the server.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for LoadGen {
+    fn default() -> Self {
+        LoadGen { clients: 4, requests_per_client: 64, horizon: 1, qps: None, deadline: None }
+    }
+}
+
+/// What a load-generation run measured.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct LoadReport {
+    /// Requests issued.
+    pub requests: u64,
+    /// Requests answered with a prediction.
+    pub ok: u64,
+    /// Requests shed at admission ([`ServeError::Overloaded`]).
+    pub shed: u64,
+    /// Requests answered with any other typed error.
+    pub errors: u64,
+    /// Wall-clock seconds of the whole run.
+    pub elapsed_seconds: f64,
+    /// Served predictions per wall-clock second.
+    pub throughput_rps: f64,
+    /// Median end-to-end latency of served requests, milliseconds.
+    pub latency_p50_ms: f64,
+    /// 95th-percentile latency, milliseconds.
+    pub latency_p95_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub latency_p99_ms: f64,
+    /// Worst served latency, milliseconds.
+    pub latency_max_ms: f64,
+}
+
+/// Drive the server with closed-loop clients and measure it.
+pub fn run_load(handle: &ServeHandle, gen: &LoadGen) -> LoadReport {
+    let fleet = handle.fleet_size().max(1);
+    let clients = gen.clients.max(1);
+    let (tx, results) = channel::bounded::<(Vec<f64>, u64, u64, u64)>(clients);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let handle = handle.clone();
+            let tx = tx.clone();
+            let gen = *gen;
+            scope.spawn(move || {
+                let mut latencies = Vec::with_capacity(gen.requests_per_client);
+                let (mut ok, mut shed, mut errors) = (0u64, 0u64, 0u64);
+                let pace = gen.qps.map(|q| Duration::from_secs_f64(clients as f64 / q.max(1e-9)));
+                let mut next_issue = Instant::now();
+                for r in 0..gen.requests_per_client {
+                    if let Some(pace) = pace {
+                        let now = Instant::now();
+                        if now < next_issue {
+                            std::thread::sleep(next_issue - now);
+                        }
+                        next_issue += pace;
+                    }
+                    let sensor = (c + r * clients) % fleet;
+                    let t0 = Instant::now();
+                    let outcome = match gen.deadline {
+                        Some(budget) => handle.forecast_with_deadline(sensor, gen.horizon, budget),
+                        None => handle.forecast(sensor, gen.horizon),
+                    };
+                    match outcome {
+                        Ok(_) => {
+                            ok += 1;
+                            latencies.push(t0.elapsed().as_secs_f64());
+                        }
+                        Err(ServeError::Overloaded { .. }) => shed += 1,
+                        Err(_) => errors += 1,
+                    }
+                }
+                let _ = tx.send((latencies, ok, shed, errors));
+            });
+        }
+        drop(tx);
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let mut latencies = Vec::new();
+    let (mut ok, mut shed, mut errors) = (0u64, 0u64, 0u64);
+    while let Ok((lat, o, s, e)) = results.recv() {
+        latencies.extend(lat);
+        ok += o;
+        shed += s;
+        errors += e;
+    }
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let pct = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+        latencies[idx.min(latencies.len() - 1)] * 1e3
+    };
+    LoadReport {
+        requests: (clients * gen.requests_per_client) as u64,
+        ok,
+        shed,
+        errors,
+        elapsed_seconds: elapsed,
+        throughput_rps: if elapsed > 0.0 { ok as f64 / elapsed } else { 0.0 },
+        latency_p50_ms: pct(0.50),
+        latency_p95_ms: pct(0.95),
+        latency_p99_ms: pct(0.99),
+        latency_max_ms: latencies.last().copied().map_or(0.0, |v| v * 1e3),
+    }
+}

@@ -96,7 +96,7 @@ impl std::error::Error for SensorFault {
 }
 
 /// Stringify a panic payload for quarantine bookkeeping.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

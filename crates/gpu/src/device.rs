@@ -127,6 +127,7 @@ struct DeviceClock {
     sim_seconds: f64,
     saturated_seconds: f64,
     kernel_launches: u64,
+    blocks_launched: u64,
     total: BlockCost,
 }
 
@@ -263,6 +264,7 @@ impl Device {
         clock.sim_seconds += sim_seconds;
         clock.saturated_seconds += saturated_seconds;
         clock.kernel_launches += 1;
+        clock.blocks_launched += blocks as u64;
         clock.total.merge(&total);
 
         LaunchReport { results, stats }
@@ -285,6 +287,22 @@ impl Device {
     /// Number of kernel launches since the last reset.
     pub fn kernel_launches(&self) -> u64 {
         self.clock.lock().kernel_launches
+    }
+
+    /// Cumulative blocks across all launches since the last reset. Together
+    /// with [`Device::kernel_launches`] this gives the mean grid width — the
+    /// figure of merit for batched serving, where micro-batching should grow
+    /// grids rather than multiply launches.
+    pub fn blocks_launched(&self) -> u64 {
+        self.clock.lock().blocks_launched
+    }
+
+    /// Per-block shared-memory budget in bytes. Callers batching many
+    /// sensors into one grid use this to pre-screen kernels that could not
+    /// fit, so an oversized request degrades before the launch instead of
+    /// failing inside it.
+    pub fn shared_capacity(&self) -> usize {
+        self.shared_capacity
     }
 
     /// Reset the cumulative clock (between experiment phases).
@@ -361,6 +379,17 @@ mod tests {
         dev.reset_clock();
         assert_eq!(dev.elapsed_seconds(), 0.0);
         assert_eq!(dev.kernel_launches(), 0);
+    }
+
+    #[test]
+    fn blocks_launched_accumulates_grid_widths() {
+        let dev = Device::default_gpu();
+        dev.launch(10, |_| ());
+        dev.launch(3, |_| ());
+        assert_eq!(dev.kernel_launches(), 2);
+        assert_eq!(dev.blocks_launched(), 13);
+        dev.reset_clock();
+        assert_eq!(dev.blocks_launched(), 0);
     }
 
     #[test]

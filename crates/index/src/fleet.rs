@@ -15,17 +15,26 @@
 //! batching only regroups independent blocks.
 
 use crate::group::{self, GroupBounds};
-use crate::search::{Neighbor, SearchOutput, SearchStats, SmilerIndex, ThresholdStrategy};
+use crate::search::{
+    Neighbor, SearchError, SearchOutput, SearchStats, SmilerIndex, ThresholdStrategy,
+};
 use smiler_gpu::kselect;
 use smiler_gpu::Device;
 use std::sync::Arc;
 
 /// Scratch describing one (sensor, item-query) task in a batched phase.
+/// `sensor` indexes the *healthy* sub-fleet actually being batched.
 #[derive(Debug, Clone)]
 struct ItemTask {
     sensor: usize,
     item: usize,
     d: usize,
+    /// The item query contains a non-finite value (a NaN sitting further
+    /// back in the history than the shorter, clean suffixes). The task
+    /// stays in the grid layout but ranks nothing: no probes, no
+    /// filtering, an empty neighbour list — exactly `try_search`'s
+    /// per-item degradation.
+    poisoned: bool,
 }
 
 /// Run the suffix kNN search for a whole fleet, batching every phase into a
@@ -36,21 +45,103 @@ struct ItemTask {
 /// would.
 ///
 /// # Panics
-/// Panics if `indexes` and `max_ends` lengths differ, or any `max_end`
-/// exceeds its sensor's history.
+/// Panics if `indexes` and `max_ends` lengths differ, or if any sensor's
+/// slot fails (out-of-range `max_end`, poisoned shortest query). Serving
+/// paths use [`try_fleet_search`], which degrades the failing slot only.
 pub fn fleet_search(
     device: &Device,
     indexes: &mut [&mut SmilerIndex],
     max_ends: &[usize],
 ) -> Vec<SearchOutput> {
+    try_fleet_search(device, indexes, max_ends)
+        .into_iter()
+        .map(|slot| match slot {
+            Ok(out) => out,
+            Err(e) => panic!("fleet suffix kNN search failed: {e}"),
+        })
+        .collect()
+}
+
+/// Fallible fleet search: one `Result` slot per sensor, in input order.
+///
+/// A sensor whose query would fail [`SmilerIndex::try_search`] — an
+/// out-of-range `max_end`, a non-finite shortest item query — gets a typed
+/// [`SearchError`] in *its* slot and is excluded from the batched grids;
+/// it never aborts or poisons the other sensors' launches. Healthy slots
+/// are bit-identical to [`fleet_search`] over the healthy sub-fleet, and
+/// only they have their continuous-reuse state updated (an erroring sensor
+/// keeps its previous state, as `try_search` would).
+///
+/// # Panics
+/// Panics only on caller contract violation: `indexes` and `max_ends`
+/// lengths differing.
+pub fn try_fleet_search(
+    device: &Device,
+    indexes: &mut [&mut SmilerIndex],
+    max_ends: &[usize],
+) -> Vec<Result<SearchOutput, SearchError>> {
     assert_eq!(indexes.len(), max_ends.len(), "one max_end per sensor");
     if indexes.is_empty() {
         return Vec::new();
     }
-    for (idx, &me) in indexes.iter().zip(max_ends) {
-        assert!(me <= idx.series().len(), "max_end beyond history");
+
+    // Pre-screen each slot the way `try_search` screens its own entry:
+    // bad bookkeeping and a poisoned shortest suffix are that sensor's
+    // typed error, not the fleet's.
+    let mut slots: Vec<Option<Result<SearchOutput, SearchError>>> = Vec::new();
+    slots.resize_with(indexes.len(), || None);
+    let mut healthy: Vec<&mut SmilerIndex> = Vec::new();
+    let mut healthy_pos: Vec<usize> = Vec::new();
+    let mut healthy_ends: Vec<usize> = Vec::new();
+    for (s, index) in indexes.iter_mut().enumerate() {
+        let len = index.series().len();
+        if max_ends[s] > len {
+            slots[s] = Some(Err(SearchError::MaxEndBeyondHistory { max_end: max_ends[s], len }));
+            continue;
+        }
+        if let Some(&d0) = index.params().lengths.first() {
+            let shortest = &index.series()[len - d0..];
+            if shortest.iter().any(|v| !v.is_finite()) {
+                slots[s] = Some(Err(SearchError::NonFiniteQuery { length: d0 }));
+                continue;
+            }
+        }
+        healthy_pos.push(s);
+        healthy_ends.push(max_ends[s]);
+        healthy.push(index);
     }
 
+    if !healthy.is_empty() {
+        let outputs = fleet_search_healthy(device, &mut healthy, &healthy_ends);
+        match outputs {
+            Ok(outs) => {
+                for (pos, out) in healthy_pos.iter().zip(outs) {
+                    slots[*pos] = Some(Ok(out));
+                }
+            }
+            // A batch-level launch failure (shared-memory overflow from an
+            // oversized device configuration) lands on every batched slot;
+            // pre-screened slots keep their own, more specific errors.
+            Err(e) => {
+                for pos in &healthy_pos {
+                    slots[*pos] = Some(Err(e.clone()));
+                }
+            }
+        }
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.unwrap_or(Err(SearchError::Device("sensor slot was never filled"))))
+        .collect()
+}
+
+/// The batched pipeline over a pre-screened fleet: every `max_end` is in
+/// range and every shortest item query is finite.
+fn fleet_search_healthy(
+    device: &Device,
+    indexes: &mut [&mut SmilerIndex],
+    max_ends: &[usize],
+) -> Result<Vec<SearchOutput>, SearchError> {
     // ---- Phase 1: group-level lower bounds, one grid over all sensors. ----
     let lb_sat0 = device.saturated_seconds();
     let lb_sim0 = device.elapsed_seconds();
@@ -60,11 +151,18 @@ pub fn fleet_search(
     let lb_sat = device.saturated_seconds() - lb_sat0;
     let lb_sim = device.elapsed_seconds() - lb_sim0;
 
-    // Flatten (sensor, item) tasks.
+    // Flatten (sensor, item) tasks. Longer item queries can be poisoned
+    // while the (pre-screened) shorter ones stay clean — the NaN sits
+    // further back — and degrade to an empty neighbour list per item.
     let mut tasks: Vec<ItemTask> = Vec::new();
     for (s, index) in indexes.iter().enumerate() {
+        let series = index.series();
         for (i, &d) in index.params().lengths.iter().enumerate() {
-            tasks.push(ItemTask { sensor: s, item: i, d });
+            let poisoned = series[series.len() - d..].iter().any(|v| !v.is_finite());
+            if poisoned {
+                smiler_obs::count("search.nonfinite_query", "", 1);
+            }
+            tasks.push(ItemTask { sensor: s, item: i, d, poisoned });
         }
     }
 
@@ -84,7 +182,9 @@ pub fn fleet_search(
         .iter()
         .enumerate()
         .filter(|(ti, t)| {
-            indexes[t.sensor].prev_neighbor(t.item).is_none() && lbw[*ti].len() > k_of(t)
+            !t.poisoned
+                && indexes[t.sensor].prev_neighbor(t.item).is_none()
+                && lbw[*ti].len() > k_of(t)
         })
         .map(|(ti, _)| ti)
         .collect();
@@ -99,6 +199,9 @@ pub fn fleet_search(
     // Assemble one fleet-wide probe list: (task, candidate start).
     let mut probes: Vec<(usize, usize)> = Vec::new();
     for (ti, t) in tasks.iter().enumerate() {
+        if t.poisoned {
+            continue;
+        }
         if let Some(prev) = indexes[t.sensor].prev_neighbor(t.item) {
             if prev + t.d <= indexes[t.sensor].series().len() {
                 probes.push((ti, prev));
@@ -125,7 +228,7 @@ pub fn fleet_search(
         }
         // Tasks with ≤ k candidates get τ = ∞ below (no probes needed).
     }
-    let probe_dists = fleet_verify(device, indexes, &tasks, &probes);
+    let probe_dists = fleet_verify(device, indexes, &tasks, &probes)?;
 
     // τ per task: max over its probes (exact for the ExactKBest strategy;
     // the single continuous probe matches the paper's reuse threshold).
@@ -145,9 +248,13 @@ pub fn fleet_search(
         }
     }
 
-    // ---- Phase 2b: filter — one block per task (pure scans). ----
+    // ---- Phase 2b: filter — one block per task (pure scans). A poisoned
+    //      task keeps its block slot in the grid but scans nothing. ----
     let filter = device.launch(tasks.len(), |ctx| {
         let ti = ctx.block_id();
+        if tasks[ti].poisoned {
+            return Vec::new();
+        }
         ctx.read_global(lbw[ti].len() as u64);
         ctx.flops(lbw[ti].len() as u64);
         let skip: Vec<usize> = verified[ti].iter().map(|&(c, _)| c).collect();
@@ -165,7 +272,7 @@ pub fn fleet_search(
     }
     let verify_sat0 = device.saturated_seconds();
     let verify_sim0 = device.elapsed_seconds();
-    let survivor_dists = fleet_verify(device, indexes, &tasks, &survivors);
+    let survivor_dists = fleet_verify(device, indexes, &tasks, &survivors)?;
     let verify_sat = device.saturated_seconds() - verify_sat0;
     let verify_sim = device.elapsed_seconds() - verify_sim0;
     for (&(ti, cand), &dist) in survivors.iter().zip(&survivor_dists) {
@@ -217,7 +324,7 @@ pub fn fleet_search(
     for (index, out) in indexes.iter_mut().zip(&outputs) {
         index.set_prev_neighbors(Arc::clone(&out.neighbors));
     }
-    outputs
+    Ok(outputs)
 }
 
 /// Group-level bounds for all sensors in ONE launch: the grid is
@@ -268,19 +375,21 @@ fn fleet_group_bounds(
 }
 
 /// Verify `(task, candidate)` pairs across the fleet in one launch,
-/// chunked 256 per block. Returns distances in input order.
+/// chunked 256 per block. Returns distances in input order, or the typed
+/// shared-memory error if a block's compressed matrices exceed the budget
+/// (instead of panicking mid-batch).
 fn fleet_verify(
     device: &Device,
     indexes: &[&mut SmilerIndex],
     tasks: &[ItemTask],
     pairs: &[(usize, usize)],
-) -> Vec<f64> {
+) -> Result<Vec<f64>, SearchError> {
     const THREADS: usize = 256;
     if pairs.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let blocks = pairs.len().div_ceil(THREADS);
-    let report = device.launch(blocks, |ctx| {
+    let report = device.launch(blocks, |ctx| -> Result<Vec<f64>, smiler_gpu::SharedMemOverflow> {
         let lo = ctx.block_id() * THREADS;
         let hi = (lo + THREADS).min(pairs.len());
         let mut scratch = smiler_dtw::DtwScratch::new();
@@ -293,7 +402,7 @@ fn fleet_verify(
             let query = &series[series.len() - t.d..];
             ctx.read_global(2 * t.d as u64);
             ctx.flops(smiler_dtw::dtw_ops_estimate(t.d, rho));
-            ctx.alloc_shared(2 * (2 * rho + 2) * 4).expect("matrix fits shared memory");
+            ctx.alloc_shared(2 * (2 * rho + 2) * 4)?;
             out.push(smiler_dtw::dtw_compressed_with(
                 query,
                 &series[cand..cand + t.d],
@@ -302,9 +411,13 @@ fn fleet_verify(
             ));
         }
         ctx.sync();
-        out
+        Ok(out)
     });
-    report.results.into_iter().flatten().collect()
+    let mut all = Vec::with_capacity(pairs.len());
+    for block in report.results {
+        all.extend(block?);
+    }
+    Ok(all)
 }
 
 #[cfg(test)]
@@ -407,5 +520,91 @@ mod tests {
         let device = Device::default_gpu();
         let mut refs: Vec<&mut SmilerIndex> = Vec::new();
         assert!(fleet_search(&device, &mut refs, &[]).is_empty());
+        assert!(try_fleet_search(&device, &mut refs, &[]).is_empty());
+    }
+
+    #[test]
+    fn bad_max_end_degrades_only_its_slot() {
+        let device = Device::default_gpu();
+        let (mut fleet, mut max_ends) = build_fleet(4, &device);
+        let (mut solo, solo_ends) = build_fleet(4, &device);
+        max_ends[1] = fleet[1].series().len() + 7; // out-of-range bookkeeping
+
+        let mut refs: Vec<&mut SmilerIndex> = fleet.iter_mut().collect();
+        let slots = try_fleet_search(&device, &mut refs, &max_ends);
+        assert!(matches!(slots[1], Err(SearchError::MaxEndBeyondHistory { .. })));
+        for (s, index) in solo.iter_mut().enumerate() {
+            if s == 1 {
+                continue;
+            }
+            let expect = index.search(&device, solo_ends[s]);
+            let got = slots[s].as_ref().expect("healthy slot");
+            for (gn, en) in got.neighbors.iter().zip(expect.neighbors.iter()) {
+                for (g, e) in gn.iter().zip(en) {
+                    assert!((g.distance - e.distance).abs() < 1e-9, "sensor {s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nan_suffix_degrades_only_its_slot() {
+        let device = Device::default_gpu();
+        let (mut fleet, max_ends) = build_fleet(3, &device);
+        let (mut solo, _) = build_fleet(3, &device);
+        // Poison sensor 2's newest observation: every item query sees it.
+        fleet[2].advance(&device, f64::NAN);
+        solo[2].advance(&device, f64::NAN);
+
+        let mut refs: Vec<&mut SmilerIndex> = fleet.iter_mut().collect();
+        let slots = try_fleet_search(&device, &mut refs, &max_ends);
+        assert!(matches!(slots[2], Err(SearchError::NonFiniteQuery { .. })));
+        for (s, index) in solo.iter_mut().enumerate().take(2) {
+            let expect = index.search(&device, max_ends[s]);
+            let got = slots[s].as_ref().expect("healthy slot");
+            for (gn, en) in got.neighbors.iter().zip(expect.neighbors.iter()) {
+                for (g, e) in gn.iter().zip(en) {
+                    assert!((g.distance - e.distance).abs() < 1e-9, "sensor {s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nan_in_longer_query_only_empties_that_item() {
+        let device = Device::default_gpu();
+        let (mut fleet, _) = build_fleet(2, &device);
+        // Splice a NaN between the shortest (8) and longest (12) suffix of
+        // sensor 0: item 0 stays clean, item 1 is poisoned.
+        let len = fleet[0].series().len();
+        let poison_at = len - 10;
+        let mut solo_series = fleet[0].series().to_vec();
+        solo_series[poison_at] = f64::NAN;
+        fleet[0] = SmilerIndex::build(&device, solo_series, params());
+        let max_ends: Vec<usize> = fleet.iter().map(|i| i.series().len() - 13).collect();
+
+        let mut refs: Vec<&mut SmilerIndex> = fleet.iter_mut().collect();
+        let slots = try_fleet_search(&device, &mut refs, &max_ends);
+        let out = slots[0].as_ref().expect("poisoned long item degrades, not errors");
+        assert!(!out.neighbors[0].is_empty(), "clean shortest item still ranks");
+        assert!(out.neighbors[1].is_empty(), "poisoned longer item ranks nothing");
+        assert!(slots[1].is_ok());
+    }
+
+    #[test]
+    fn try_fleet_matches_solo_try_search_slots() {
+        let device = Device::default_gpu();
+        let (mut fleet, max_ends) = build_fleet(3, &device);
+        let (mut solo, _) = build_fleet(3, &device);
+        let mut refs: Vec<&mut SmilerIndex> = fleet.iter_mut().collect();
+        let slots = try_fleet_search(&device, &mut refs, &max_ends);
+        for (s, index) in solo.iter_mut().enumerate() {
+            let expect = index.try_search(&device, max_ends[s]).expect("healthy");
+            let got = slots[s].as_ref().expect("healthy slot");
+            assert_eq!(got.neighbors.len(), expect.neighbors.len());
+            for (gn, en) in got.neighbors.iter().zip(expect.neighbors.iter()) {
+                assert_eq!(gn.len(), en.len(), "sensor {s}");
+            }
+        }
     }
 }

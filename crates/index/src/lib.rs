@@ -34,7 +34,7 @@ pub mod scan;
 pub mod search;
 pub mod window;
 
-pub use fleet::fleet_search;
+pub use fleet::{fleet_search, try_fleet_search};
 pub use search::{
     BoundMode, IndexParams, Neighbor, SearchError, SearchOutput, SearchStats, SmilerIndex,
     ThresholdStrategy, VerifyMode,

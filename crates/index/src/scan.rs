@@ -11,7 +11,7 @@
 //!   `LBen` computed *directly* per candidate (no window-level reuse); the
 //!   Fig 8 comparison isolating the two-level index's contribution.
 
-use crate::search::{verify_candidates, Neighbor};
+use crate::search::{verify_candidates, Neighbor, SearchError};
 use smiler_gpu::kselect;
 use smiler_gpu::Device;
 use smiler_timeseries::Envelope;
@@ -32,17 +32,13 @@ fn candidate_count(d: usize, max_end: usize) -> usize {
     }
 }
 
-/// Select the k nearest from a dense distance array on the device.
+/// Select the k nearest from a dense distance array on the device. A
+/// one-block grid always yields one result; an empty report (impossible by
+/// the launch contract) degrades to no neighbours rather than panicking.
 fn select_neighbors(device: &Device, distances: &[f64], k: usize) -> Vec<Neighbor> {
     let report = device.launch(1, |ctx| kselect::select_k_smallest(ctx, distances, k));
-    report
-        .results
-        .into_iter()
-        .next()
-        .expect("one block")
-        .into_iter()
-        .map(|t| Neighbor { start: t, distance: distances[t] })
-        .collect()
+    let picks = report.results.into_iter().next().unwrap_or_default();
+    picks.into_iter().map(|t| Neighbor { start: t, distance: distances[t] }).collect()
 }
 
 /// Banded-DTW distances of every candidate, chunked 256 per block.
@@ -148,9 +144,14 @@ pub fn fast_cpu_scan(
             // Stage 3: early-abandoning DTW.
             let (dist, cells) = smiler_dtw::dtw_early_abandon_counted(query, cand, rho, tau);
             ctx.flops(6 * cells);
-            if let Some(dist) = dist {
+            // A NaN distance (poisoned history segment) slips past the
+            // lower-bound stages — NaN fails every `> tau` comparison —
+            // so it must be dropped here, mirroring `search.rs`'s
+            // finite-filtered candidacy, or it would both corrupt the
+            // heap order and poison τ.
+            if let Some(dist) = dist.filter(|d| d.is_finite()) {
                 heap.push((dist, t));
-                heap.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+                heap.sort_by(|a, b| b.0.total_cmp(&a.0));
                 if heap.len() > k {
                     heap.remove(0);
                 }
@@ -159,7 +160,7 @@ pub fn fast_cpu_scan(
                 }
             }
         }
-        heap.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1)));
+        heap.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         heap.into_iter().map(|(dist, t)| Neighbor { start: t, distance: dist }).collect::<Vec<_>>()
     });
     report.results
@@ -170,7 +171,8 @@ pub fn fast_cpu_scan(
 /// select pipeline as the index. Returns the neighbours and the simulated
 /// **device-saturated** seconds spent on the direct lower-bound
 /// computation alone (the quantity Fig 8 compares against the two-level
-/// index's group pass).
+/// index's group pass), or the typed error if the verification kernel
+/// cannot fit the device's shared memory.
 pub fn smiler_dir(
     device: &Device,
     series: &[f64],
@@ -178,77 +180,73 @@ pub fn smiler_dir(
     k: usize,
     rho: usize,
     max_end: usize,
-) -> (ScanNeighbors, f64) {
+) -> Result<(ScanNeighbors, f64), SearchError> {
     const THREADS: usize = 256;
     let series_env = Envelope::compute(series, rho);
     let mut lb_seconds = 0.0;
-    let out = item_queries(series, lengths)
-        .into_iter()
-        .map(|query| {
-            let d = query.len();
-            let query_env = Envelope::compute(query, rho);
-            let count = candidate_count(d, max_end);
-            // Direct LBen for every candidate (the expensive part Fig 8
-            // measures).
-            let t0 = device.saturated_seconds();
-            let blocks = count.div_ceil(THREADS);
-            let report = device.launch(blocks, |ctx| {
-                let lo = ctx.block_id() * THREADS;
-                let hi = (lo + THREADS).min(count);
-                let mut out = Vec::with_capacity(hi - lo);
-                for t in lo..hi {
-                    let cand = &series[t..t + d];
-                    ctx.read_global(2 * d as u64);
-                    ctx.flops(6 * d as u64);
-                    let lbeq = smiler_dtw::lb_keogh(cand, &query_env.upper, &query_env.lower);
-                    let lbec = smiler_dtw::lb_keogh(
-                        query,
-                        &series_env.upper[t..t + d],
-                        &series_env.lower[t..t + d],
-                    );
-                    out.push(lbeq.max(lbec));
-                }
-                out
-            });
-            let lbs: Vec<f64> = report.results.into_iter().flatten().collect();
-            lb_seconds += device.saturated_seconds() - t0;
-
-            // Threshold: verify the k smallest lower bounds; τ = max DTW.
-            if lbs.len() <= k {
-                let all: Vec<usize> = (0..lbs.len()).collect();
-                let dists = verify_candidates(device, series, query, rho, &all)
-                    .expect("verify kernel fits shared memory");
-                return select_from(device, &all, &dists, k);
+    let mut out: ScanNeighbors = Vec::with_capacity(lengths.len());
+    for query in item_queries(series, lengths) {
+        let d = query.len();
+        let query_env = Envelope::compute(query, rho);
+        let count = candidate_count(d, max_end);
+        // Direct LBen for every candidate (the expensive part Fig 8
+        // measures).
+        let t0 = device.saturated_seconds();
+        let blocks = count.div_ceil(THREADS);
+        let report = device.launch(blocks, |ctx| {
+            let lo = ctx.block_id() * THREADS;
+            let hi = (lo + THREADS).min(count);
+            let mut out = Vec::with_capacity(hi - lo);
+            for t in lo..hi {
+                let cand = &series[t..t + d];
+                ctx.read_global(2 * d as u64);
+                ctx.flops(6 * d as u64);
+                let lbeq = smiler_dtw::lb_keogh(cand, &query_env.upper, &query_env.lower);
+                let lbec = smiler_dtw::lb_keogh(
+                    query,
+                    &series_env.upper[t..t + d],
+                    &series_env.lower[t..t + d],
+                );
+                out.push(lbeq.max(lbec));
             }
-            let probes =
-                device.launch(1, |ctx| kselect::select_k_smallest(ctx, &lbs, k)).results.remove(0);
-            let probe_dists = verify_candidates(device, series, query, rho, &probes)
-                .expect("verify kernel fits shared memory");
-            let tau = probe_dists.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            out
+        });
+        let lbs: Vec<f64> = report.results.into_iter().flatten().collect();
+        lb_seconds += device.saturated_seconds() - t0;
 
-            let survivors: Vec<usize> =
-                (0..lbs.len()).filter(|&t| lbs[t] <= tau && !probes.contains(&t)).collect();
-            let dists = verify_candidates(device, series, query, rho, &survivors)
-                .expect("verify kernel fits shared memory");
-            let mut verified: Vec<(usize, f64)> = probes.into_iter().zip(probe_dists).collect();
-            verified.extend(survivors.into_iter().zip(dists));
-            let (starts, vals): (Vec<usize>, Vec<f64>) = verified.into_iter().unzip();
-            select_from(device, &starts, &vals, k)
-        })
-        .collect();
-    (out, lb_seconds)
+        // Threshold: verify the k smallest lower bounds; τ = max DTW.
+        if lbs.len() <= k {
+            let all: Vec<usize> = (0..lbs.len()).collect();
+            let dists = verify_candidates(device, series, query, rho, &all)?;
+            out.push(select_from(device, &all, &dists, k));
+            continue;
+        }
+        let probes = device
+            .launch(1, |ctx| kselect::select_k_smallest(ctx, &lbs, k))
+            .results
+            .into_iter()
+            .next()
+            .unwrap_or_default();
+        let probe_dists = verify_candidates(device, series, query, rho, &probes)?;
+        // `f64::max` ignores NaN probe distances (poisoned history); a
+        // fully poisoned probe set leaves τ at −∞, filtering everything.
+        let tau = probe_dists.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+
+        let survivors: Vec<usize> =
+            (0..lbs.len()).filter(|&t| lbs[t] <= tau && !probes.contains(&t)).collect();
+        let dists = verify_candidates(device, series, query, rho, &survivors)?;
+        let mut verified: Vec<(usize, f64)> = probes.into_iter().zip(probe_dists).collect();
+        verified.extend(survivors.into_iter().zip(dists));
+        let (starts, vals): (Vec<usize>, Vec<f64>) = verified.into_iter().unzip();
+        out.push(select_from(device, &starts, &vals, k));
+    }
+    Ok((out, lb_seconds))
 }
 
 fn select_from(device: &Device, starts: &[usize], dists: &[f64], k: usize) -> Vec<Neighbor> {
     let report = device.launch(1, |ctx| kselect::select_k_smallest(ctx, dists, k));
-    report
-        .results
-        .into_iter()
-        .next()
-        .expect("one block")
-        .into_iter()
-        .map(|i| Neighbor { start: starts[i], distance: dists[i] })
-        .collect()
+    let picks = report.results.into_iter().next().unwrap_or_default();
+    picks.into_iter().map(|i| Neighbor { start: starts[i], distance: dists[i] }).collect()
 }
 
 #[cfg(test)]
@@ -275,10 +273,9 @@ mod tests {
                 start: t,
                 distance: smiler_dtw::dtw_banded(query, &series[t..t + d], rho),
             })
+            .filter(|n| n.distance.is_finite())
             .collect();
-        all.sort_by(|a, b| {
-            a.distance.partial_cmp(&b.distance).unwrap().then(a.start.cmp(&b.start))
-        });
+        all.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.start.cmp(&b.start)));
         all.truncate(k);
         all
     }
@@ -320,9 +317,52 @@ mod tests {
         let device = Device::default_gpu();
         let series = make_series(300, 3);
         let max_end = series.len() - 3;
-        let (got, lb_seconds) = smiler_dir(&device, &series, &LENGTHS, K, RHO, max_end);
+        let (got, lb_seconds) =
+            smiler_dir(&device, &series, &LENGTHS, K, RHO, max_end).expect("fits shared memory");
         assert_matches_brute(&got, &series, max_end);
         assert!(lb_seconds > 0.0);
+    }
+
+    #[test]
+    fn nan_history_degrades_scans_without_panicking() {
+        // A NaN spliced into the candidate region — the very fallback data
+        // the robust path scans — must degrade the poisoned candidates,
+        // not panic the baselines (the PR 3 sweep's remaining gap).
+        let mut series = make_series(300, 6);
+        series[40] = f64::NAN;
+        series[41] = f64::NAN;
+        let max_end = series.len() - 3;
+
+        let cpu = Device::cpu(CpuSpec::default());
+        let cpu_got = fast_cpu_scan(&cpu, &series, &LENGTHS, K, RHO, max_end);
+        assert_matches_brute(&cpu_got, &series, max_end);
+
+        let device = Device::default_gpu();
+        let gpu_got = fast_gpu_scan(&device, &series, &LENGTHS, K, RHO, max_end);
+        assert_matches_brute(&gpu_got, &series, max_end);
+
+        let (dir_got, _) =
+            smiler_dir(&device, &series, &LENGTHS, K, RHO, max_end).expect("fits shared memory");
+        for (item, neighbors) in dir_got.iter().enumerate() {
+            for n in neighbors {
+                assert!(n.distance.is_finite(), "item {item}: {n:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_nan_history_yields_no_neighbours() {
+        let mut series = make_series(120, 7);
+        let n = series.len();
+        for v in &mut series[..n - 20] {
+            *v = f64::NAN;
+        }
+        let max_end = n - 20;
+        let cpu = Device::cpu(CpuSpec::default());
+        let got = fast_cpu_scan(&cpu, &series, &LENGTHS, K, RHO, max_end);
+        for neighbors in &got {
+            assert!(neighbors.is_empty());
+        }
     }
 
     #[test]

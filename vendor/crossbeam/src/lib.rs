@@ -1,7 +1,8 @@
 #![allow(clippy::all)]
 //! Offline shim for the subset of `crossbeam` this workspace uses:
 //! `crossbeam::thread::scope` with `Scope::spawn`, implemented over
-//! `std::thread::scope` (stable since 1.63).
+//! `std::thread::scope` (stable since 1.63), and `crossbeam::channel`'s
+//! bounded MPMC queue over `std::sync::{Mutex, Condvar}`.
 
 /// Scoped threads.
 pub mod thread {
@@ -64,8 +65,302 @@ pub mod thread {
     }
 }
 
+/// Bounded multi-producer multi-consumer channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        capacity: usize,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The queue is at capacity; the message is handed back.
+        Full(T),
+        /// Every receiver has been dropped; the message is handed back.
+        Disconnected(T),
+    }
+
+    /// Error returned by [`Sender::send`]: every receiver has been dropped.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`]: the channel is empty and every
+    /// sender has been dropped.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The queue is momentarily empty but senders remain.
+        Empty,
+        /// The queue is empty and every sender has been dropped.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// The queue is empty and every sender has been dropped.
+        Disconnected,
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "sending on a full channel"),
+                TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty, disconnected channel")
+        }
+    }
+
+    /// The sending half of a bounded channel. Clonable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a bounded channel. Clonable.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Create a bounded MPMC channel holding at most `capacity` messages.
+    /// A zero capacity is rounded up to one (this shim has no rendezvous
+    /// mode).
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let capacity = capacity.max(1);
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::with_capacity(capacity),
+                capacity,
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    }
+
+    fn lock<T>(shared: &Shared<T>) -> std::sync::MutexGuard<'_, Inner<T>> {
+        // A poisoned channel mutex means a thread panicked *between* two
+        // plain field updates below — none of which can leave the queue
+        // torn — so the data is still coherent and we keep serving.
+        match shared.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Attempt to enqueue without blocking.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut inner = lock(&self.shared);
+            if inner.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if inner.queue.len() >= inner.capacity {
+                return Err(TrySendError::Full(msg));
+            }
+            inner.queue.push_back(msg);
+            drop(inner);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Enqueue, blocking while the queue is full. Errors only when all
+        /// receivers are gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut inner = lock(&self.shared);
+            loop {
+                if inner.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                if inner.queue.len() < inner.capacity {
+                    inner.queue.push_back(msg);
+                    drop(inner);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                inner = match self.shared.not_full.wait(inner) {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            lock(&self.shared).queue.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// The channel's fixed capacity.
+        pub fn capacity(&self) -> usize {
+            lock(&self.shared).capacity
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeue, blocking while the queue is empty. Errors only when the
+        /// queue is drained *and* all senders are gone: queued messages are
+        /// always delivered before the disconnect is reported.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = lock(&self.shared);
+            loop {
+                if let Some(msg) = inner.queue.pop_front() {
+                    drop(inner);
+                    self.shared.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = match self.shared.not_empty.wait(inner) {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+        }
+
+        /// Dequeue, blocking up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut inner = lock(&self.shared);
+            loop {
+                if let Some(msg) = inner.queue.pop_front() {
+                    drop(inner);
+                    self.shared.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (g, timed_out) = match self.shared.not_empty.wait_timeout(inner, deadline - now)
+                {
+                    Ok((g, t)) => (g, t.timed_out()),
+                    Err(poisoned) => {
+                        let (g, t) = poisoned.into_inner();
+                        (g, t.timed_out())
+                    }
+                };
+                inner = g;
+                if timed_out && inner.queue.is_empty() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
+        /// Attempt to dequeue without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = lock(&self.shared);
+            if let Some(msg) = inner.queue.pop_front() {
+                drop(inner);
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            lock(&self.shared).queue.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// The channel's fixed capacity.
+        pub fn capacity(&self) -> usize {
+            lock(&self.shared).capacity
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            lock(&self.shared).senders += 1;
+            Sender { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            lock(&self.shared).receivers += 1;
+            Receiver { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = lock(&self.shared);
+            inner.senders -= 1;
+            let last = inner.senders == 0;
+            drop(inner);
+            if last {
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = lock(&self.shared);
+            inner.receivers -= 1;
+            let last = inner.receivers == 0;
+            drop(inner);
+            if last {
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::channel;
+    use std::time::Duration;
+
     #[test]
     fn scoped_threads_borrow_stack_data() {
         let data = vec![1u64, 2, 3, 4];
@@ -84,5 +379,105 @@ mod tests {
             s.spawn(|_| panic!("boom"));
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn bounded_fifo_order() {
+        let (tx, rx) = channel::bounded(8);
+        for i in 0..5 {
+            tx.try_send(i).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
+    }
+
+    #[test]
+    fn try_send_full_hands_message_back() {
+        let (tx, rx) = channel::bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(channel::TrySendError::Full(3)));
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+    }
+
+    #[test]
+    fn queued_messages_delivered_before_disconnect() {
+        let (tx, rx) = channel::bounded(4);
+        tx.try_send("a").unwrap();
+        tx.try_send("b").unwrap();
+        drop(tx);
+        assert_eq!(rx.recv().unwrap(), "a");
+        assert_eq!(rx.recv().unwrap(), "b");
+        assert!(rx.recv().is_err());
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_errors() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        drop(rx);
+        assert!(tx.send(7).is_err());
+        assert_eq!(tx.try_send(7), Err(channel::TrySendError::Disconnected(7)));
+    }
+
+    #[test]
+    fn blocking_send_wakes_on_recv() {
+        let (tx, rx) = channel::bounded(1);
+        tx.try_send(0u32).unwrap();
+        std::thread::scope(|s| {
+            let tx2 = tx.clone();
+            s.spawn(move || tx2.send(1).unwrap());
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(rx.recv().unwrap(), 0);
+            assert_eq!(rx.recv().unwrap(), 1);
+        });
+    }
+
+    #[test]
+    fn mpmc_under_contention_delivers_everything() {
+        let (tx, rx) = channel::bounded(4);
+        const PER: usize = 200;
+        const PRODUCERS: usize = 4;
+        const CONSUMERS: usize = 3;
+        let got = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for p in 0..PRODUCERS {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..PER {
+                        tx.send(p * PER + i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            for _ in 0..CONSUMERS {
+                let rx = rx.clone();
+                let got = &got;
+                s.spawn(move || {
+                    while let Ok(v) = rx.recv() {
+                        got.lock().unwrap().push(v);
+                    }
+                });
+            }
+        });
+        let mut all = got.into_inner().unwrap();
+        all.sort_unstable();
+        let expect: Vec<usize> = (0..PRODUCERS * PER).collect();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = channel::bounded(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(channel::RecvTimeoutError::Timeout)
+        );
+        tx.try_send(9u8).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(9));
     }
 }
