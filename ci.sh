@@ -15,7 +15,9 @@ echo "==> cargo fmt --check"
 cargo fmt --check
 
 # The serving request path must stay panic-free: no .unwrap()/.expect(
-# outside #[cfg(test)] in the files the fallible API flows through.
+# outside #[cfg(test)] in the files the fallible API flows through. The
+# durability layer is held to the same bar: a corrupt byte on disk must
+# surface as a typed StoreError, never a panic.
 echo "==> panic-free request path (no unwrap/expect in serving files)"
 GATED_FILES=(
     crates/core/src/system.rs
@@ -25,6 +27,11 @@ GATED_FILES=(
     crates/index/src/search.rs
     crates/index/src/scan.rs
     crates/index/src/fleet.rs
+    crates/store/src/checkpoint.rs
+    crates/store/src/codec.rs
+    crates/store/src/lib.rs
+    crates/store/src/store.rs
+    crates/store/src/wal.rs
 )
 GATE_FAIL=0
 for f in "${GATED_FILES[@]}"; do
@@ -53,6 +60,12 @@ if [[ "$QUICK" == "1" ]]; then
 
     echo "==> cargo test --test serving"
     cargo test -p smiler-core --test serving
+
+    # Checkpoint/restore smoke: runs a fleet, kills it mid-run, restores
+    # from checkpoint + WAL, and compares predictions bitwise against a
+    # never-stopped fleet (plus torn-tail and checkpoint-corruption cases).
+    echo "==> cargo test --test durability (kill/restore bitwise smoke)"
+    cargo test -p smiler-core --test durability
 
     # The load-generating bench entry points must at least compile.
     echo "==> cargo build -p smiler-bench (bench-serve compile check)"

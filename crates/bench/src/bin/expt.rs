@@ -24,7 +24,8 @@ const USAGE: &str =
     "usage: expt <table3|fig7|fig8|fig9|fig10|fig11|table4|fig12|fig13|ablation|all> \
      [--smoke] [--metrics-out <path>] [--trace-out <path>]\n\
      \x20      expt bench-step [--smoke] [--out <path>]   per-step latency snapshot\n\
-     \x20      expt bench-serve [--smoke] [--out <path>]  serving-throughput snapshot";
+     \x20      expt bench-serve [--smoke] [--out <path>]  serving-throughput snapshot\n\
+     \x20      expt bench-ingest [--smoke] [--out <path>] WAL append + recovery snapshot";
 
 fn main() {
     let mut smoke = false;
@@ -120,6 +121,44 @@ fn main() {
             report.launch_amortisation,
             path.display()
         );
+        return;
+    }
+    // bench-ingest snapshots the durability layer: WAL append throughput
+    // per flush policy and recovery time as a function of WAL length.
+    if ids.iter().any(|i| i == "bench-ingest") {
+        let scale = if smoke {
+            smiler_bench::ingestbench::IngestBenchScale::smoke()
+        } else {
+            smiler_bench::ingestbench::IngestBenchScale::default_scale()
+        };
+        let report = smiler_bench::ingestbench::run(scale);
+        let json = serde_json::to_string_pretty(&report).expect("report serialises");
+        let path = out_path.unwrap_or_else(|| PathBuf::from("results/BENCH_ingest.json"));
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        std::fs::write(&path, format!("{json}\n")).unwrap_or_else(|e| {
+            eprintln!("could not write {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        for a in &report.append {
+            println!(
+                "bench-ingest: {} -> {:.0} appends/s ({} fsyncs, {:.1} appends/fsync)",
+                a.policy, a.appends_per_sec, a.fsyncs, a.appends_per_fsync
+            );
+        }
+        for r in &report.recovery {
+            println!(
+                "bench-ingest: recover {} rounds in {:.3}s ({:.0} rounds/s; rebuild {:.3}s, \
+                 replay {:.3}s)",
+                r.wal_rounds,
+                r.restore_seconds,
+                r.rounds_per_sec,
+                r.report.rebuild_seconds,
+                r.report.replay_seconds
+            );
+        }
+        println!("bench-ingest: wrote {}", path.display());
         return;
     }
     let observing = metrics_out.is_some() || trace_out.is_some();

@@ -1,0 +1,233 @@
+//! Durable-ingestion snapshot: WAL append throughput and recovery time.
+//!
+//! `expt bench-ingest` measures the two costs the durability layer adds to
+//! the SMiLer pipeline and writes `BENCH_ingest.json`:
+//!
+//! * **append throughput** per [`FlushPolicy`] — `always` pays one `fsync`
+//!   per append, `every-<n>` amortises it over a group commit, and
+//!   `interval-<ms>` bounds the data-loss window instead; the report keeps
+//!   the observed fsync counts so the amortisation is checkable;
+//! * **recovery time vs WAL length** — a fleet is run past its initial
+//!   checkpoint for N rounds, killed, and reopened; the full
+//!   [`RestoreReport`] (open / index rebuild / replay seconds) is folded
+//!   into the JSON for each WAL length.
+//!
+//! The snapshot is committed alongside durability PRs so regressions in
+//! group commit or replay cost are visible from the repo history alone.
+
+use serde::Serialize;
+use smiler_core::sensor::SmilerConfig;
+use smiler_core::{DurableSystem, PredictorKind, RestoreReport};
+use smiler_gpu::Device;
+use smiler_store::{FlushPolicy, Store, StoreConfig};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Scale of one bench-ingest run.
+#[derive(Debug, Clone)]
+pub struct IngestBenchScale {
+    /// WAL appends per flush-policy measurement.
+    pub appends: usize,
+    /// WAL lengths (fleet rounds past the checkpoint) to recover from.
+    pub recovery_rounds: Vec<usize>,
+    /// Sensors in the recovery fleet.
+    pub sensors: usize,
+    /// History behind each sensor at checkpoint time.
+    pub history: usize,
+}
+
+impl IngestBenchScale {
+    /// Default scale: enough appends for stable group-commit numbers and
+    /// the paper-style 1k/5k/20k replay ladder.
+    pub fn default_scale() -> Self {
+        IngestBenchScale {
+            appends: 20_000,
+            recovery_rounds: vec![1_000, 5_000, 20_000],
+            sensors: 4,
+            history: 300,
+        }
+    }
+
+    /// CI-sized smoke scale.
+    pub fn smoke() -> Self {
+        IngestBenchScale {
+            appends: 2_000,
+            recovery_rounds: vec![200, 1_000],
+            sensors: 2,
+            history: 300,
+        }
+    }
+}
+
+/// Append throughput under one flush policy.
+#[derive(Debug, Clone, Serialize)]
+pub struct AppendThroughput {
+    /// Policy in its `FromStr` spelling (`always`, `every-32`, ...).
+    pub policy: String,
+    /// Appends performed.
+    pub appends: usize,
+    /// Wall-clock seconds for the whole run (including the final sync).
+    pub seconds: f64,
+    /// Appends per second.
+    pub appends_per_sec: f64,
+    /// `fsync` calls the policy actually issued.
+    pub fsyncs: u64,
+    /// Appends amortised over each fsync.
+    pub appends_per_fsync: f64,
+}
+
+/// Recovery cost after a kill with `wal_rounds` unreplayed fleet rounds.
+#[derive(Debug, Clone, Serialize)]
+pub struct RecoveryPoint {
+    /// Fleet rounds in the WAL tail past the checkpoint.
+    pub wal_rounds: usize,
+    /// End-to-end seconds for `DurableSystem::open`.
+    pub restore_seconds: f64,
+    /// Replayed rounds per second.
+    pub rounds_per_sec: f64,
+    /// The full restore breakdown (open / rebuild / replay spans).
+    pub report: RestoreReport,
+}
+
+/// One committed `BENCH_ingest.json` record.
+#[derive(Debug, Clone, Serialize)]
+pub struct IngestBenchReport {
+    /// Record identifier.
+    pub bench: String,
+    /// Appends per policy / recovery fleet sensors / history length.
+    pub scale: (usize, usize, usize),
+    /// Append throughput per flush policy.
+    pub append: Vec<AppendThroughput>,
+    /// Recovery time for each WAL length.
+    pub recovery: Vec<RecoveryPoint>,
+}
+
+fn bench_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("smiler_bench_ingest_{tag}_{}", std::process::id()))
+}
+
+fn fsync_count() -> u64 {
+    smiler_obs::metrics_snapshot()
+        .counters
+        .iter()
+        .filter(|c| c.name == "store.fsync")
+        .map(|c| c.value)
+        .sum()
+}
+
+fn measure_appends(policy: FlushPolicy, appends: usize) -> AppendThroughput {
+    let dir = bench_dir(&format!("append_{policy}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    smiler_obs::reset();
+    let fsyncs_before = fsync_count();
+    let (mut store, _) = Store::open(&dir, StoreConfig { flush: policy, ..StoreConfig::default() })
+        .expect("bench store opens");
+    let started = Instant::now();
+    for i in 0..appends {
+        store.append_observe((i % 16) as u32, (i as f64 * 0.37).sin()).expect("bench append");
+    }
+    store.sync().expect("final sync");
+    let seconds = started.elapsed().as_secs_f64();
+    let fsyncs = fsync_count() - fsyncs_before;
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    AppendThroughput {
+        policy: policy.to_string(),
+        appends,
+        seconds,
+        appends_per_sec: appends as f64 / seconds.max(1e-9),
+        fsyncs,
+        appends_per_fsync: appends as f64 / (fsyncs.max(1)) as f64,
+    }
+}
+
+fn measure_recovery(scale: &IngestBenchScale, rounds: usize) -> RecoveryPoint {
+    let dir = bench_dir(&format!("recover_{rounds}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let histories: Vec<Vec<f64>> = (0..scale.sensors)
+        .map(|s| {
+            (0..scale.history)
+                .map(|i| ((i + s * 7) as f64 * std::f64::consts::TAU / 24.0).sin())
+                .collect()
+        })
+        .collect();
+    // checkpoint_every = 0: the WAL tail past the initial checkpoint grows
+    // to exactly `rounds`, which is the replay length being measured.
+    let (mut durable, _) = DurableSystem::create(
+        Arc::new(Device::default_gpu()),
+        histories,
+        SmilerConfig::small_for_tests(),
+        PredictorKind::Aggregation,
+        &dir,
+        StoreConfig::default(),
+        0,
+    )
+    .expect("bench fleet creates");
+    for r in 0..rounds {
+        let values: Vec<f64> =
+            (0..scale.sensors).map(|s| ((r * 3 + s) as f64 * 0.21).sin()).collect();
+        durable.observe_all(&values).expect("bench round");
+    }
+    drop(durable); // the kill: no final checkpoint
+
+    let started = Instant::now();
+    let (restored, report) =
+        DurableSystem::open(Arc::new(Device::default_gpu()), &dir, StoreConfig::default(), 0)
+            .expect("bench restore");
+    let restore_seconds = started.elapsed().as_secs_f64();
+    assert_eq!(report.replayed_rounds, rounds, "replay must cover the whole tail");
+    drop(restored);
+    let _ = std::fs::remove_dir_all(&dir);
+    RecoveryPoint {
+        wal_rounds: rounds,
+        restore_seconds,
+        rounds_per_sec: rounds as f64 / restore_seconds.max(1e-9),
+        report,
+    }
+}
+
+/// Run the snapshot at `scale`.
+pub fn run(scale: IngestBenchScale) -> IngestBenchReport {
+    let obs_was_enabled = smiler_obs::enabled();
+    smiler_obs::set_enabled(true); // fsync counts come from the store.* series
+    let policies = [FlushPolicy::Always, FlushPolicy::EveryN(32), FlushPolicy::IntervalMs(5)];
+    let append = policies.iter().map(|&p| measure_appends(p, scale.appends)).collect();
+    let recovery = scale.recovery_rounds.iter().map(|&r| measure_recovery(&scale, r)).collect();
+    smiler_obs::set_enabled(obs_was_enabled);
+    IngestBenchReport {
+        bench: "ingest".to_string(),
+        scale: (scale.appends, scale.sensors, scale.history),
+        append,
+        recovery,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_consistent_report() {
+        let report = run(IngestBenchScale {
+            appends: 200,
+            recovery_rounds: vec![50],
+            sensors: 2,
+            history: 300,
+        });
+        assert_eq!(report.append.len(), 3);
+        let always = &report.append[0];
+        let grouped = &report.append[1];
+        assert_eq!(always.policy, "always");
+        // `always` fsyncs once per append; group commit must not.
+        assert!(always.fsyncs >= 200, "always: {} fsyncs", always.fsyncs);
+        assert!(grouped.fsyncs < always.fsyncs, "group commit must amortise fsyncs");
+        assert_eq!(report.recovery.len(), 1);
+        let rec = &report.recovery[0];
+        assert_eq!(rec.wal_rounds, 50);
+        assert_eq!(rec.report.replayed_rounds, 50);
+        assert!(rec.restore_seconds > 0.0);
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"replay_seconds\""), "{json}");
+    }
+}

@@ -19,6 +19,7 @@ use smiler_timeseries::synthetic::{DatasetKind, SyntheticSpec};
 use smiler_timeseries::SensorDataset;
 
 pub mod experiments;
+pub mod ingestbench;
 pub mod report;
 pub mod servebench;
 pub mod stepbench;

@@ -9,8 +9,9 @@ use smiler_baselines::SeriesPredictor;
 use smiler_core::eval::{evaluate, EvalConfig};
 use smiler_core::sensor::{SmilerConfig, SmilerForecaster};
 use smiler_core::serve::{run_load, LoadGen, ServeConfig, SmilerServer};
-use smiler_core::{PredictorKind, RequestPolicy, SensorPredictor};
+use smiler_core::{DurableError, DurableSystem, PredictorKind, RequestPolicy, SensorPredictor};
 use smiler_gpu::Device;
+use smiler_store::{FlushPolicy, StoreConfig};
 use smiler_timeseries::io;
 use smiler_timeseries::normalize::ZNorm;
 use smiler_timeseries::synthetic::{DatasetKind, SyntheticSpec};
@@ -52,6 +53,12 @@ impl From<io::IoError> for CliError {
     }
 }
 
+impl From<DurableError> for CliError {
+    fn from(e: DurableError) -> Self {
+        CliError::Other(e.to_string())
+    }
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 smiler — semi-lazy time series prediction for sensors (SIGMOD'15 reproduction)
@@ -67,6 +74,9 @@ USAGE:
                [--requests 64] [--horizon 1] [--deadline-ms <ms>]
                [--max-batch 16] [--queue 64] [--predictor gp|ar]
                [--dataset road|mall|net] [--days 2] [--seed 7]
+               [--data-dir <dir>] [--flush always|every-<n>|interval-<ms>]
+  smiler checkpoint --data-dir <dir> [--flush <policy>]
+  smiler restore --data-dir <dir> [--flush <policy>]
   smiler info
 
 Series files are one-value-per-line or CSV (use --column for a named CSV
@@ -86,6 +96,16 @@ SERVING (forecast):
                          → aggregation → last-value hold) instead of blowing
                          the budget. Each forecast line reports the rung
                          that served it.
+
+PERSISTENCE:
+  serve --data-dir <dir> makes the fleet durable: every observation is
+  WAL-logged before the index advances, and shutdown checkpoints the
+  drained fleet. Restarting with the same --data-dir restores from the
+  newest valid checkpoint plus WAL-tail replay — bitwise-identical to a
+  fleet that never stopped. `smiler checkpoint` folds the WAL tail into a
+  fresh checkpoint (bounding restart time); `smiler restore` runs recovery
+  and reports what it found (use --metrics-out for the store.* series).
+  --flush picks the group-commit fsync cadence (default every-32).
 
 OBSERVABILITY (any command):
   --metrics-out <path>   write end-of-run metrics as JSON lines (includes
@@ -112,6 +132,8 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         Some("evaluate") => evaluate_cmd(args),
         Some("generate") => generate(args),
         Some("serve") => serve(args),
+        Some("checkpoint") => checkpoint_cmd(args),
+        Some("restore") => restore_cmd(args),
         Some("info") => Ok(info()),
         Some(other) => Err(CliError::Other(format!("unknown command {other:?}\n\n{USAGE}"))),
         None => Ok(USAGE.to_string()),
@@ -353,35 +375,95 @@ fn serve(args: &Args) -> Result<String, CliError> {
         other => return Err(CliError::Other(format!("unknown dataset {other:?} (road|mall|net)"))),
     };
 
-    let dataset = SyntheticSpec { kind, sensors, days, seed }.generate();
     let config = SmilerConfig { h_max: horizon.max(1), ..Default::default() };
     let device = Arc::new(Device::default_gpu());
-    let fleet: Vec<SensorPredictor> = dataset
-        .sensors
-        .iter()
-        .enumerate()
-        .map(|(id, s)| {
-            let (normalised, _) = smiler_timeseries::normalize::z_normalize(s.values());
-            SensorPredictor::new(
-                Arc::clone(&device),
-                id,
-                normalised,
-                config.clone(),
-                predictor_kind,
-            )
-        })
-        .collect();
+    let mut durability_note = String::new();
+    let (fleet, store) = match args.get("data-dir").map(std::path::PathBuf::from) {
+        Some(dir) => {
+            let store_config = store_config_from_args(args)?;
+            // Warm restart if the directory holds fleet state; cold-start a
+            // synthetic fleet into it otherwise. Serving checkpoints on
+            // drain, so the in-run checkpoint cadence stays 0.
+            match DurableSystem::open(Arc::clone(&device), &dir, store_config.clone(), 0) {
+                Ok((durable, report)) => {
+                    let _ = writeln!(
+                        durability_note,
+                        "restored {} sensors from {} (checkpoint seq {}, replayed {} rounds + \
+                         {} observes in {:.3}s)",
+                        report.sensors,
+                        dir.display(),
+                        report.checkpoint_seq,
+                        report.replayed_rounds,
+                        report.replayed_observes,
+                        report.open_seconds + report.rebuild_seconds + report.replay_seconds,
+                    );
+                    let (system, store) = durable.into_parts();
+                    (system.into_sensors(), Some(store))
+                }
+                Err(DurableError::NoState) => {
+                    let dataset = SyntheticSpec { kind, sensors, days, seed }.generate();
+                    let histories: Vec<Vec<f64>> = dataset
+                        .sensors
+                        .iter()
+                        .map(|s| smiler_timeseries::normalize::z_normalize(s.values()).0)
+                        .collect();
+                    let (durable, _) = DurableSystem::create(
+                        Arc::clone(&device),
+                        histories,
+                        config.clone(),
+                        predictor_kind,
+                        &dir,
+                        store_config,
+                        0,
+                    )?;
+                    let _ = writeln!(durability_note, "created durable state at {}", dir.display());
+                    let (system, store) = durable.into_parts();
+                    (system.into_sensors(), Some(store))
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        None => {
+            let dataset = SyntheticSpec { kind, sensors, days, seed }.generate();
+            let fleet: Vec<SensorPredictor> = dataset
+                .sensors
+                .iter()
+                .enumerate()
+                .map(|(id, s)| {
+                    let (normalised, _) = smiler_timeseries::normalize::z_normalize(s.values());
+                    SensorPredictor::new(
+                        Arc::clone(&device),
+                        id,
+                        normalised,
+                        config.clone(),
+                        predictor_kind,
+                    )
+                })
+                .collect();
+            (fleet, None)
+        }
+    };
+    let sensors = fleet.len();
 
     let serve_config =
         ServeConfig { shards, queue_capacity: queue, max_batch, ..ServeConfig::default() };
     device.reset_clock();
-    let server = SmilerServer::start(Arc::clone(&device), fleet, serve_config);
+    let server = match store {
+        Some(store) => SmilerServer::start_with_store(
+            Arc::clone(&device),
+            fleet,
+            serve_config,
+            smiler_store::shared(store),
+        ),
+        None => SmilerServer::start(Arc::clone(&device), fleet, serve_config),
+    };
     let handle = server.handle();
     let gen = LoadGen { clients, requests_per_client: requests, horizon, qps, deadline };
     let report = run_load(&handle, &gen);
     let stats = server.shutdown();
 
     let mut out = String::new();
+    out.push_str(&durability_note);
     let _ = writeln!(
         out,
         "served {} sensors across {shards} shards (queue {queue}, max batch {max_batch})",
@@ -415,6 +497,69 @@ fn serve(args: &Args) -> Result<String, CliError> {
         device.kernel_launches(),
         device.blocks_launched()
     );
+    Ok(out)
+}
+
+fn store_config_from_args(args: &Args) -> Result<StoreConfig, CliError> {
+    let flush = match args.get("flush") {
+        Some(s) => s.parse::<FlushPolicy>().map_err(CliError::Other)?,
+        None => FlushPolicy::default(),
+    };
+    Ok(StoreConfig { flush, ..StoreConfig::default() })
+}
+
+fn restore_report_lines(out: &mut String, report: &smiler_core::RestoreReport) {
+    let _ = writeln!(
+        out,
+        "restored {} sensors from checkpoint seq {}",
+        report.sensors, report.checkpoint_seq
+    );
+    let _ = writeln!(
+        out,
+        "replayed {} fleet rounds + {} observations from the WAL tail",
+        report.replayed_rounds, report.replayed_observes
+    );
+    let _ = writeln!(
+        out,
+        "repairs: {} checkpoint(s) quarantined, {} WAL segment(s) quarantined, \
+         {} torn byte(s) truncated",
+        report.quarantined_checkpoints, report.quarantined_segments, report.truncated_bytes
+    );
+    let _ = writeln!(
+        out,
+        "timings: open {:.3}s, index rebuild {:.3}s, replay {:.3}s",
+        report.open_seconds, report.rebuild_seconds, report.replay_seconds
+    );
+}
+
+/// `smiler checkpoint`: fold the WAL tail into a fresh checkpoint so the
+/// next restart replays (almost) nothing, then prune covered WAL segments.
+fn checkpoint_cmd(args: &Args) -> Result<String, CliError> {
+    let dir = std::path::PathBuf::from(args.require("data-dir")?);
+    let device = Arc::new(Device::default_gpu());
+    let (mut durable, report) =
+        DurableSystem::open(device, &dir, store_config_from_args(args)?, 0)?;
+    let mut out = String::new();
+    restore_report_lines(&mut out, &report);
+    let seq = durable.checkpoint()?;
+    let _ = writeln!(out, "checkpointed {} at seq {seq}", dir.display());
+    Ok(out)
+}
+
+/// `smiler restore`: run the recovery ladder and report what it found —
+/// a dry-run restart that doubles as an integrity check.
+fn restore_cmd(args: &Args) -> Result<String, CliError> {
+    let dir = std::path::PathBuf::from(args.require("data-dir")?);
+    let device = Arc::new(Device::default_gpu());
+    let (durable, report) = DurableSystem::open(device, &dir, store_config_from_args(args)?, 0)?;
+    let mut out = String::new();
+    restore_report_lines(&mut out, &report);
+    let quarantined = durable.system().quarantined();
+    if quarantined.is_empty() {
+        let _ = writeln!(out, "fleet healthy: {} sensors ready", report.sensors);
+    } else {
+        let _ = writeln!(out, "quarantined sensors: {quarantined:?}");
+    }
     Ok(out)
 }
 
@@ -631,6 +776,58 @@ mod tests {
         assert!(s.contains("throughput"), "{s}");
         assert!(s.contains("micro-batching"), "{s}");
         assert!(s.contains("kernel launches"), "{s}");
+    }
+
+    #[test]
+    fn restore_requires_existing_state() {
+        let dir = std::env::temp_dir().join(format!("smiler_cli_nostate_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let err = run(&args(&["restore", "--data-dir", dir.to_str().unwrap()])).unwrap_err();
+        assert!(err.to_string().contains("no recoverable fleet state"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_data_dir_cold_start_then_restore_then_checkpoint() {
+        let dir = std::env::temp_dir().join(format!("smiler_cli_durable_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let serve_args = [
+            "serve",
+            "--shards",
+            "1",
+            "--sensors",
+            "2",
+            "--clients",
+            "1",
+            "--requests",
+            "4",
+            "--days",
+            "1",
+            "--data-dir",
+            dir.to_str().unwrap(),
+        ];
+
+        // First run creates the durable directory and checkpoints on drain.
+        let s = run(&args(&serve_args)).unwrap();
+        assert!(s.contains("created durable state"), "{s}");
+
+        // A restart from the same directory restores instead of recreating.
+        let s = run(&args(&serve_args)).unwrap();
+        assert!(s.contains("restored 2 sensors"), "{s}");
+
+        // Offline recovery report, then WAL compaction.
+        let s = run(&args(&["restore", "--data-dir", dir.to_str().unwrap()])).unwrap();
+        assert!(s.contains("restored 2 sensors"), "{s}");
+        assert!(s.contains("fleet healthy"), "{s}");
+        let s = run(&args(&["checkpoint", "--data-dir", dir.to_str().unwrap()])).unwrap();
+        assert!(s.contains("checkpointed"), "{s}");
+
+        // Bad flush policies are argument errors, not panics.
+        let err =
+            run(&args(&["restore", "--data-dir", dir.to_str().unwrap(), "--flush", "sometimes"]))
+                .unwrap_err();
+        assert!(err.to_string().contains("flush policy"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,579 @@
+//! Durable fleet operation: WAL-logged steps, binary checkpoints and the
+//! store-backed recovery ladder.
+//!
+//! [`DurableSystem`] wraps a [`SmilerSystem`] and a [`Store`] so that a
+//! fleet killed at any moment restarts **bitwise-identically** to one that
+//! never stopped:
+//!
+//! 1. every fleet round is appended to the WAL *before* any sensor's
+//!    index advances (a redo log: a crash between the append and the
+//!    in-memory step replays the round on restart);
+//! 2. periodic checkpoints serialise the full adaptive state — history,
+//!    λ weights and sleep schedules, warm-started GP hyperparameters,
+//!    pending λ-update rounds, retrain cadence and error counters — in a
+//!    length-prefixed binary format whose floats travel as raw IEEE-754
+//!    bits (JSON would lose NaN gaps and cost the bitwise guarantee);
+//! 3. [`DurableSystem::open`] recovers along the ladder *checkpoint →
+//!    WAL replay → cold rebuild*: decode the newest valid checkpoint,
+//!    rebuild each sensor's index from its saved history (bitwise
+//!    equivalent to having advanced it online), then re-apply the WAL
+//!    tail as ordinary fleet rounds.
+//!
+//! The same ladder serves per-sensor quarantine recovery:
+//! [`DurableSystem::recover_all`] first tries the in-memory snapshot rung
+//! ([`SmilerSystem::recover_all`]) and, for sensors whose snapshot rung
+//! fails, falls back to rebuilding from the durable checkpoint plus the
+//! WAL tail.
+
+use crate::predictor::PredictorKind;
+use crate::sensor::SensorPredictor;
+use crate::snapshot::{HorizonSnapshot, PendingPrediction, SensorSnapshot};
+use crate::system::{OutOfDeviceMemory, SmilerSystem};
+use crate::SmilerConfig;
+use smiler_gp::Hyperparams;
+use smiler_gpu::Device;
+use smiler_store::{codec, ByteReader, CodecError, Store, StoreConfig, StoreError, WalRecord};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Version of the fleet checkpoint payload layout.
+pub const FLEET_FORMAT_VERSION: u32 = 1;
+
+/// Failures of the durable fleet layer.
+#[derive(Debug)]
+pub enum DurableError {
+    /// The store itself failed (I/O, container corruption).
+    Store(StoreError),
+    /// A checkpoint payload failed structural decoding.
+    Codec(CodecError),
+    /// The payload decoded but its contents are unusable.
+    Corrupt(String),
+    /// The data directory holds no recoverable fleet state.
+    NoState,
+    /// Restored sensors exceed device memory.
+    OutOfMemory(OutOfDeviceMemory),
+}
+
+impl std::fmt::Display for DurableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurableError::Store(e) => write!(f, "durable store failed: {e}"),
+            DurableError::Codec(e) => write!(f, "fleet checkpoint undecodable: {e}"),
+            DurableError::Corrupt(msg) => write!(f, "fleet checkpoint corrupt: {msg}"),
+            DurableError::NoState => {
+                write!(f, "data directory holds no recoverable fleet state")
+            }
+            DurableError::OutOfMemory(e) => write!(f, "restored fleet does not fit: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DurableError::Store(e) => Some(e),
+            DurableError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for DurableError {
+    fn from(e: StoreError) -> Self {
+        DurableError::Store(e)
+    }
+}
+
+impl From<CodecError> for DurableError {
+    fn from(e: CodecError) -> Self {
+        DurableError::Codec(e)
+    }
+}
+
+// ------------------------------------------------------------- encoding
+
+fn encode_hyper(buf: &mut Vec<u8>, hyper: &Option<Hyperparams>) {
+    match hyper {
+        None => codec::put_u8(buf, 0),
+        Some(h) => {
+            codec::put_u8(buf, 1);
+            codec::put_f64(buf, h.theta0);
+            codec::put_f64(buf, h.theta1);
+            codec::put_f64(buf, h.theta2);
+        }
+    }
+}
+
+fn decode_hyper(r: &mut ByteReader<'_>) -> Result<Option<Hyperparams>, DurableError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => {
+            let theta0 = r.f64()?;
+            let theta1 = r.f64()?;
+            let theta2 = r.f64()?;
+            Ok(Some(Hyperparams { theta0, theta1, theta2 }))
+        }
+        tag => Err(DurableError::Codec(CodecError::BadTag { tag })),
+    }
+}
+
+fn encode_cells(buf: &mut Vec<u8>, cells: &[Option<(f64, f64)>]) {
+    codec::put_u64(buf, cells.len() as u64);
+    for cell in cells {
+        match cell {
+            None => codec::put_u8(buf, 0),
+            Some((m, v)) => {
+                codec::put_u8(buf, 1);
+                codec::put_f64(buf, *m);
+                codec::put_f64(buf, *v);
+            }
+        }
+    }
+}
+
+fn decode_cells(r: &mut ByteReader<'_>) -> Result<Vec<Option<(f64, f64)>>, DurableError> {
+    let n = r.u64()? as usize;
+    let mut cells = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        cells.push(match r.u8()? {
+            0 => None,
+            1 => Some((r.f64()?, r.f64()?)),
+            tag => return Err(DurableError::Codec(CodecError::BadTag { tag })),
+        });
+    }
+    Ok(cells)
+}
+
+fn encode_horizon(buf: &mut Vec<u8>, h: &HorizonSnapshot) {
+    codec::put_u64(buf, h.horizon as u64);
+    codec::put_f64_slice(buf, &h.ensemble.lambda);
+    codec::put_u64(buf, h.ensemble.sleep.len() as u64);
+    for &(remaining, counter, just_recovered) in &h.ensemble.sleep {
+        codec::put_u64(buf, remaining as u64);
+        codec::put_u64(buf, counter as u64);
+        codec::put_u8(buf, just_recovered as u8);
+    }
+    codec::put_u64(buf, h.gp_hypers.len() as u64);
+    for hyper in &h.gp_hypers {
+        encode_hyper(buf, hyper);
+    }
+    let pending = h.pending.as_deref().unwrap_or(&[]);
+    codec::put_u64(buf, pending.len() as u64);
+    for p in pending {
+        codec::put_u64(buf, p.target as u64);
+        encode_cells(buf, &p.cells);
+    }
+    let cadence = h.gp_cadence.as_deref().unwrap_or(&[]);
+    codec::put_u64(buf, cadence.len() as u64);
+    for &steps in cadence {
+        codec::put_u64(buf, steps as u64);
+    }
+}
+
+fn decode_horizon(r: &mut ByteReader<'_>) -> Result<HorizonSnapshot, DurableError> {
+    let horizon = r.u64()? as usize;
+    let lambda = r.f64_vec()?;
+    let n_sleep = r.u64()? as usize;
+    let mut sleep = Vec::with_capacity(n_sleep.min(1 << 16));
+    for _ in 0..n_sleep {
+        let remaining = r.u64()? as usize;
+        let counter = r.u64()? as usize;
+        let just_recovered = r.u8()? != 0;
+        sleep.push((remaining, counter, just_recovered));
+    }
+    let n_hypers = r.u64()? as usize;
+    let mut gp_hypers = Vec::with_capacity(n_hypers.min(1 << 16));
+    for _ in 0..n_hypers {
+        gp_hypers.push(decode_hyper(r)?);
+    }
+    let n_pending = r.u64()? as usize;
+    let mut pending = Vec::with_capacity(n_pending.min(1 << 16));
+    for _ in 0..n_pending {
+        let target = r.u64()? as usize;
+        let cells = decode_cells(r)?;
+        pending.push(PendingPrediction { target, cells });
+    }
+    let n_cadence = r.u64()? as usize;
+    let mut gp_cadence = Vec::with_capacity(n_cadence.min(1 << 16));
+    for _ in 0..n_cadence {
+        gp_cadence.push(r.u64()? as usize);
+    }
+    Ok(HorizonSnapshot {
+        horizon,
+        ensemble: crate::ensemble::EnsembleState { lambda, sleep },
+        gp_hypers,
+        pending: Some(pending),
+        gp_cadence: Some(gp_cadence),
+    })
+}
+
+fn encode_sensor(buf: &mut Vec<u8>, snap: &SensorSnapshot) {
+    codec::put_u64(buf, snap.sensor_id as u64);
+    // The config holds only finite tunables, so a JSON round-trip is exact
+    // (Rust's shortest-roundtrip float formatting); the bitwise-sensitive
+    // state below travels as raw bits.
+    codec::put_str(buf, &serde_json::to_string(&snap.config).expect("config serialises"));
+    codec::put_u8(
+        buf,
+        match snap.kind {
+            PredictorKind::Aggregation => 0,
+            PredictorKind::GaussianProcess => 1,
+        },
+    );
+    codec::put_f64_slice(buf, &snap.history);
+    let errors = snap.errors.unwrap_or_default();
+    codec::put_u32(buf, errors.consecutive_gp_failures);
+    codec::put_u32(buf, errors.cooldown_remaining);
+    codec::put_u64(buf, errors.total_gp_failures);
+    codec::put_u64(buf, errors.total_search_errors);
+    codec::put_u64(buf, snap.horizons.len() as u64);
+    for h in &snap.horizons {
+        encode_horizon(buf, h);
+    }
+}
+
+fn decode_sensor(r: &mut ByteReader<'_>) -> Result<SensorSnapshot, DurableError> {
+    let sensor_id = r.u64()? as usize;
+    let config_json = r.str()?;
+    let config: SmilerConfig = serde_json::from_str(&config_json)
+        .map_err(|e| DurableError::Corrupt(format!("sensor {sensor_id} config: {e}")))?;
+    let kind = match r.u8()? {
+        0 => PredictorKind::Aggregation,
+        1 => PredictorKind::GaussianProcess,
+        tag => return Err(DurableError::Codec(CodecError::BadTag { tag })),
+    };
+    let history = r.f64_vec()?;
+    let errors = crate::degrade::ErrorState {
+        consecutive_gp_failures: r.u32()?,
+        cooldown_remaining: r.u32()?,
+        total_gp_failures: r.u64()?,
+        total_search_errors: r.u64()?,
+    };
+    let n_horizons = r.u64()? as usize;
+    let mut horizons = Vec::with_capacity(n_horizons.min(1 << 16));
+    for _ in 0..n_horizons {
+        horizons.push(decode_horizon(r)?);
+    }
+    Ok(SensorSnapshot { sensor_id, history, config, kind, horizons, errors: Some(errors) })
+}
+
+/// Serialise a fleet's per-sensor snapshots as a checkpoint payload.
+pub fn encode_fleet(snapshots: &[SensorSnapshot]) -> Vec<u8> {
+    let mut buf =
+        Vec::with_capacity(64 + snapshots.iter().map(|s| s.history.len() * 8).sum::<usize>());
+    codec::put_u32(&mut buf, FLEET_FORMAT_VERSION);
+    codec::put_u64(&mut buf, snapshots.len() as u64);
+    for snap in snapshots {
+        encode_sensor(&mut buf, snap);
+    }
+    buf
+}
+
+/// Decode a fleet checkpoint payload back into per-sensor snapshots.
+pub fn decode_fleet(payload: &[u8]) -> Result<Vec<SensorSnapshot>, DurableError> {
+    let mut r = ByteReader::new(payload);
+    let version = r.u32()?;
+    if version != FLEET_FORMAT_VERSION {
+        return Err(DurableError::Corrupt(format!(
+            "fleet payload version {version}, this build reads {FLEET_FORMAT_VERSION}"
+        )));
+    }
+    let n = r.u64()? as usize;
+    let mut snapshots = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        snapshots.push(decode_sensor(&mut r)?);
+    }
+    if !r.is_empty() {
+        return Err(DurableError::Corrupt(format!("{} trailing bytes", r.remaining())));
+    }
+    Ok(snapshots)
+}
+
+// ------------------------------------------------------ the durable fleet
+
+/// What [`DurableSystem::open`] rebuilt, for logs and experiment JSON.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct RestoreReport {
+    /// Sequence number of the checkpoint restored from.
+    pub checkpoint_seq: u64,
+    /// Sensors rebuilt from the checkpoint.
+    pub sensors: usize,
+    /// Fleet rounds re-applied from the WAL tail.
+    pub replayed_rounds: usize,
+    /// Single-sensor observations re-applied from the WAL tail.
+    pub replayed_observes: usize,
+    /// Checkpoint files quarantined during recovery.
+    pub quarantined_checkpoints: usize,
+    /// WAL segments quarantined during recovery.
+    pub quarantined_segments: usize,
+    /// Bytes cut off the WAL's torn tail.
+    pub truncated_bytes: u64,
+    /// Seconds spent opening and repairing the store.
+    pub open_seconds: f64,
+    /// Seconds spent decoding the checkpoint and rebuilding indexes.
+    pub rebuild_seconds: f64,
+    /// Seconds spent re-applying the WAL tail.
+    pub replay_seconds: f64,
+}
+
+/// A [`SmilerSystem`] whose every round is durable: WAL first, then the
+/// in-memory step; checkpoints on a configurable cadence.
+pub struct DurableSystem {
+    system: SmilerSystem,
+    store: Store,
+    /// Checkpoint after this many durable rounds (0 = only on demand).
+    checkpoint_every: u64,
+    rounds_since_checkpoint: u64,
+}
+
+impl DurableSystem {
+    /// Start a **fresh** durable fleet at `dir`: build the system from
+    /// `histories` and write the initial checkpoint (the baseline every
+    /// later WAL replay builds on). Fails with [`DurableError::Corrupt`]
+    /// if the directory already holds fleet state — restarting an
+    /// existing directory is [`DurableSystem::open`]'s job.
+    #[allow(clippy::too_many_arguments)]
+    pub fn create(
+        device: Arc<Device>,
+        histories: Vec<Vec<f64>>,
+        config: SmilerConfig,
+        kind: PredictorKind,
+        dir: &Path,
+        store_config: StoreConfig,
+        checkpoint_every: u64,
+    ) -> Result<(Self, Option<OutOfDeviceMemory>), DurableError> {
+        let (mut store, recovery) = Store::open(dir, store_config)?;
+        if !recovery.is_cold() {
+            return Err(DurableError::Corrupt(format!(
+                "{} already holds fleet state (checkpoint {:?}, {} tail records); \
+                 open it instead of re-creating",
+                dir.display(),
+                recovery.checkpoint_seq,
+                recovery.replay.len()
+            )));
+        }
+        let (system, oom) = SmilerSystem::new(device, histories, config, kind);
+        store.checkpoint(&encode_fleet(&system.durable_snapshots()))?;
+        Ok((DurableSystem { system, store, checkpoint_every, rounds_since_checkpoint: 0 }, oom))
+    }
+
+    /// Recover a durable fleet from `dir`: newest valid checkpoint, index
+    /// rebuild, WAL-tail replay. The restored fleet's next prediction is
+    /// bitwise-identical to what the never-stopped fleet would have
+    /// produced.
+    pub fn open(
+        device: Arc<Device>,
+        dir: &Path,
+        store_config: StoreConfig,
+        checkpoint_every: u64,
+    ) -> Result<(Self, RestoreReport), DurableError> {
+        let (store, recovery) = Store::open(dir, store_config)?;
+        let payload = recovery.checkpoint_payload.as_deref().ok_or(DurableError::NoState)?;
+
+        let rebuild_started = Instant::now();
+        let snapshots = decode_fleet(payload)?;
+        let sensor_count = snapshots.len();
+        let sensors: Vec<SensorPredictor> = snapshots
+            .into_iter()
+            .map(|snap| SensorPredictor::restore(Arc::clone(&device), snap))
+            .collect();
+        let (mut system, oom) = SmilerSystem::from_restored(device, sensors);
+        if let Some(oom) = oom {
+            return Err(DurableError::OutOfMemory(oom));
+        }
+        let rebuild_seconds = rebuild_started.elapsed().as_secs_f64();
+
+        let replay_started = Instant::now();
+        let (mut replayed_rounds, mut replayed_observes) = (0usize, 0usize);
+        for record in &recovery.replay {
+            Self::apply_record(&mut system, record)?;
+            match record {
+                WalRecord::Round { .. } => replayed_rounds += 1,
+                WalRecord::Observe { .. } => replayed_observes += 1,
+            }
+        }
+        let replay_seconds = replay_started.elapsed().as_secs_f64();
+
+        let report = RestoreReport {
+            checkpoint_seq: recovery.checkpoint_seq.unwrap_or(0),
+            sensors: sensor_count,
+            replayed_rounds,
+            replayed_observes,
+            quarantined_checkpoints: recovery.quarantined_checkpoints,
+            quarantined_segments: recovery.quarantined_segments,
+            truncated_bytes: recovery.truncated_bytes,
+            open_seconds: recovery.open_seconds,
+            rebuild_seconds,
+            replay_seconds,
+        };
+        if smiler_obs::enabled() {
+            smiler_obs::observe("store.rebuild_seconds", "", rebuild_seconds);
+            smiler_obs::observe("store.replay_seconds", "", replay_seconds);
+        }
+        Ok((DurableSystem { system, store, checkpoint_every, rounds_since_checkpoint: 0 }, report))
+    }
+
+    /// Re-apply one WAL record to the in-memory fleet.
+    fn apply_record(system: &mut SmilerSystem, record: &WalRecord) -> Result<(), DurableError> {
+        match record {
+            WalRecord::Round { horizon: 0, values, .. } => {
+                Self::check_width(system, values.len())?;
+                system.observe_all(values);
+            }
+            WalRecord::Round { horizon, values, .. } => {
+                Self::check_width(system, values.len())?;
+                system.step(*horizon as usize, values);
+            }
+            WalRecord::Observe { sensor, value, .. } => {
+                let idx = (0..system.len())
+                    .find(|&i| system.sensor(i).sensor_id() == *sensor as usize)
+                    .ok_or_else(|| {
+                        DurableError::Corrupt(format!("WAL names unknown sensor {sensor}"))
+                    })?;
+                system.sensor_mut(idx).observe(*value);
+            }
+        }
+        Ok(())
+    }
+
+    fn check_width(system: &SmilerSystem, width: usize) -> Result<(), DurableError> {
+        if width != system.len() {
+            return Err(DurableError::Corrupt(format!(
+                "WAL round carries {width} values for a {}-sensor fleet",
+                system.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// One durable fleet round: the round is appended to the WAL *before*
+    /// any sensor's index advances, so a crash at any point replays it.
+    /// Checkpoints automatically on the configured cadence.
+    ///
+    /// # Panics
+    /// Panics if the observation count differs from the sensor count
+    /// (same contract as [`SmilerSystem::step`]).
+    pub fn step(
+        &mut self,
+        h: usize,
+        observations: &[f64],
+    ) -> Result<Vec<(f64, f64)>, DurableError> {
+        self.store.append_round(h as u32, observations)?;
+        let predictions = self.system.step(h, observations);
+        self.tick_checkpoint()?;
+        Ok(predictions)
+    }
+
+    /// One durable observe-only round (horizon 0 in the log).
+    ///
+    /// # Panics
+    /// Panics if the observation count differs from the sensor count.
+    pub fn observe_all(&mut self, observations: &[f64]) -> Result<(), DurableError> {
+        self.store.append_round(0, observations)?;
+        self.system.observe_all(observations);
+        self.tick_checkpoint()?;
+        Ok(())
+    }
+
+    fn tick_checkpoint(&mut self) -> Result<(), DurableError> {
+        self.rounds_since_checkpoint += 1;
+        if self.checkpoint_every > 0 && self.rounds_since_checkpoint >= self.checkpoint_every {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Write a checkpoint of the fleet's current durable state now.
+    /// Quarantined sensors contribute their last good snapshot, never a
+    /// torn live predictor ([`SmilerSystem::durable_snapshots`]).
+    pub fn checkpoint(&mut self) -> Result<u64, DurableError> {
+        self.rounds_since_checkpoint = 0;
+        Ok(self.store.checkpoint(&encode_fleet(&self.system.durable_snapshots()))?)
+    }
+
+    /// Force the WAL to the platter regardless of flush policy.
+    pub fn sync(&mut self) -> Result<(), DurableError> {
+        Ok(self.store.sync()?)
+    }
+
+    /// Recover every quarantined sensor along the full ladder: the
+    /// in-memory snapshot rung first ([`SmilerSystem::recover_all`]),
+    /// then — for sensors whose snapshot rung failed — a rebuild from the
+    /// durable checkpoint plus the WAL tail. Returns the indices brought
+    /// back.
+    pub fn recover_all(&mut self) -> Result<Vec<usize>, DurableError> {
+        let mut recovered = self.system.recover_all();
+        let still_out = self.system.quarantined();
+        if still_out.is_empty() {
+            return Ok(recovered);
+        }
+        // Store rung: decode the newest durable checkpoint once, then
+        // rebuild each failed sensor from its saved snapshot plus the
+        // observations the WAL holds past the checkpoint.
+        let (seq, payload) = match self.store.latest_checkpoint()? {
+            Some(c) => c,
+            None => return Ok(recovered),
+        };
+        let snapshots = decode_fleet(&payload)?;
+        let tail = self.store.read_tail(seq)?;
+        for idx in still_out {
+            let sensor_id = self.system.sensor(idx).sensor_id();
+            let Some(mut snap) = snapshots.iter().find(|s| s.sensor_id == sensor_id).cloned()
+            else {
+                continue;
+            };
+            // Absorb this sensor's share of the tail into the history so
+            // the rebuilt index is current; adaptive state stays at the
+            // checkpoint cut (the snapshot rung's exact semantics).
+            for record in &tail {
+                match record {
+                    WalRecord::Round { values, .. } => {
+                        if let Some(&v) = values.get(idx) {
+                            snap.history.push(v);
+                        }
+                    }
+                    WalRecord::Observe { sensor, value, .. } => {
+                        if *sensor as usize == sensor_id {
+                            snap.history.push(*value);
+                        }
+                    }
+                }
+            }
+            let device = Arc::clone(self.system.device_arc());
+            let rebuilt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                SensorPredictor::restore(device, snap)
+            }));
+            if let Ok(predictor) = rebuilt {
+                self.system.install_recovered(idx, predictor);
+                smiler_obs::count("store.sensor_rebuilt", "", 1);
+                recovered.push(idx);
+            }
+        }
+        recovered.sort_unstable();
+        Ok(recovered)
+    }
+
+    /// The wrapped fleet (read-only).
+    pub fn system(&self) -> &SmilerSystem {
+        &self.system
+    }
+
+    /// Mutable access to the wrapped fleet. Steps driven through this
+    /// handle bypass the WAL — use [`DurableSystem::step`] /
+    /// [`DurableSystem::observe_all`] for durable rounds.
+    pub fn system_mut(&mut self) -> &mut SmilerSystem {
+        &mut self.system
+    }
+
+    /// The underlying store (read-only).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Dismantle into the fleet and the store (e.g. to hand both to the
+    /// sharded serving frontend, which logs and checkpoints itself).
+    pub fn into_parts(self) -> (SmilerSystem, Store) {
+        (self.system, self.store)
+    }
+}

@@ -43,6 +43,7 @@
 #![forbid(unsafe_code)]
 
 pub mod degrade;
+pub mod durable;
 pub mod ensemble;
 pub mod eval;
 pub mod predictor;
@@ -53,6 +54,7 @@ pub mod stream;
 pub mod system;
 
 pub use degrade::{DegradationLevel, ErrorState, PredictError, Prediction, RequestPolicy};
+pub use durable::{DurableError, DurableSystem, RestoreReport};
 pub use ensemble::{EnsembleConfig, EnsembleMatrix, EnsembleMode};
 pub use predictor::{ArPredictor, GpCellPredictor, KnnData, PredictorKind};
 pub use sensor::{FaultKind, SensorPredictor, SmilerConfig};

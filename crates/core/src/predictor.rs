@@ -207,6 +207,20 @@ impl GpCellPredictor {
     pub fn train_config(&self) -> &TrainConfig {
         &self.train_config
     }
+
+    /// Steps since the last hyperparameter (re)training — the retrain
+    /// cadence position. Snapshot plumbing: restoring this makes the
+    /// restored cell retrain on exactly the same future step the original
+    /// would have.
+    pub fn steps_since_train(&self) -> usize {
+        self.steps_since_train
+    }
+
+    /// Restore the retrain cadence position (snapshot plumbing). Must be
+    /// called *after* [`GpCellPredictor::set_hyper`], which resets it.
+    pub fn set_steps_since_train(&mut self, steps: usize) {
+        self.steps_since_train = steps;
+    }
 }
 
 /// The outcome of [`GpCellPredictor::plan_hyper`]: what (if any) training

@@ -104,6 +104,15 @@ struct HorizonState {
     pending: VecDeque<(usize, CellPredictions)>,
 }
 
+/// Decoded per-horizon state handed to
+/// [`SensorPredictor::install_horizon_snapshots`] by the restore path.
+pub(crate) struct RestoredHorizon {
+    pub(crate) ensemble: EnsembleMatrix,
+    pub(crate) gp_hypers: Vec<Option<smiler_gp::Hyperparams>>,
+    pub(crate) pending: Vec<crate::snapshot::PendingPrediction>,
+    pub(crate) gp_cadence: Vec<usize>,
+}
+
 /// Reusable buffers for the prediction step: GP triangular-solve scratch
 /// and the per-cell centred-target vector. Lives on the predictor so the
 /// steady-state predict loop performs no heap allocations in the GP math.
@@ -214,48 +223,75 @@ impl SensorPredictor {
         self.kind
     }
 
-    /// Per-horizon adaptive state for [`crate::snapshot`]: `(h, ensemble
-    /// state, per-cell GP hyperparameters)`.
-    pub(crate) fn horizon_snapshots(
-        &self,
-    ) -> Vec<(usize, crate::ensemble::EnsembleState, Vec<Option<smiler_gp::Hyperparams>>)> {
+    /// Per-horizon adaptive state for [`crate::snapshot`], including the
+    /// transient per-step state (pending predictions, retrain cadence) the
+    /// durable checkpoint needs for bitwise restart continuation.
+    pub(crate) fn horizon_snapshots(&self) -> Vec<crate::snapshot::HorizonSnapshot> {
         self.horizons
             .iter()
             .map(|(&h, state)| {
-                let hypers = state
-                    .cells
+                let mut hypers = Vec::with_capacity(state.cells.len());
+                let mut cadence = Vec::with_capacity(state.cells.len());
+                for c in &state.cells {
+                    match c {
+                        CellState::Ar => {
+                            hypers.push(None);
+                            cadence.push(0);
+                        }
+                        CellState::Gp(cell) => {
+                            hypers.push(cell.hyper());
+                            cadence.push(cell.steps_since_train());
+                        }
+                    }
+                }
+                let pending = state
+                    .pending
                     .iter()
-                    .map(|c| match c {
-                        CellState::Ar => None,
-                        CellState::Gp(cell) => cell.hyper(),
+                    .map(|(target, cells)| crate::snapshot::PendingPrediction {
+                        target: *target,
+                        cells: cells.clone(),
                     })
                     .collect();
-                (h, state.ensemble.snapshot(), hypers)
+                crate::snapshot::HorizonSnapshot {
+                    horizon: h,
+                    ensemble: state.ensemble.snapshot(),
+                    gp_hypers: hypers,
+                    pending: Some(pending),
+                    gp_cadence: Some(cadence),
+                }
             })
             .collect()
     }
 
-    /// Install restored per-horizon state (ensemble + GP hyperparameters);
-    /// the snapshot's pending predictions are intentionally not restored.
-    pub(crate) fn install_horizon_snapshots(
-        &mut self,
-        states: HashMap<usize, (EnsembleMatrix, Vec<Option<smiler_gp::Hyperparams>>)>,
-    ) {
-        for (h, (ensemble, hypers)) in states {
+    /// Install restored per-horizon state: ensemble, GP hyperparameters,
+    /// pending prediction rounds and the retrain cadence. The cadence is
+    /// installed *after* [`GpCellPredictor::set_hyper`] (which resets it),
+    /// so the restored cell retrains on exactly the original schedule.
+    pub(crate) fn install_horizon_snapshots(&mut self, states: HashMap<usize, RestoredHorizon>) {
+        for (h, restored) in states {
             let state = self.horizon_state(h);
             assert_eq!(
-                hypers.len(),
+                restored.gp_hypers.len(),
                 state.cells.len(),
                 "snapshot cell count mismatch at horizon {h}"
             );
-            state.ensemble = ensemble;
-            for (cell, hyper) in state.cells.iter_mut().zip(hypers) {
+            state.ensemble = restored.ensemble;
+            let mut cadence = restored.gp_cadence.into_iter();
+            for (cell, hyper) in state.cells.iter_mut().zip(restored.gp_hypers) {
+                let steps = cadence.next().unwrap_or(0);
                 if let CellState::Gp(gp) = cell {
                     gp.set_hyper(hyper);
+                    gp.set_steps_since_train(steps);
                 }
             }
-            state.pending.clear();
+            state.pending =
+                restored.pending.into_iter().map(|p| (p.target, p.cells)).collect::<VecDeque<_>>();
         }
+    }
+
+    /// Restore the rolling error state captured in a snapshot.
+    pub(crate) fn set_error_state(&mut self, errors: ErrorState) {
+        self.errors = errors;
     }
 
     /// Candidate-end bound this sensor's searches use (`len − h_max`).

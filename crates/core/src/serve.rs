@@ -39,6 +39,7 @@ use crate::system::{panic_message, SensorFault, SensorHealth};
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError, TrySendError};
 use smiler_gpu::Device;
 use smiler_index::{try_fleet_search, SearchOutput, SmilerIndex};
+use smiler_store::SharedStore;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -104,6 +105,12 @@ pub enum ServeError {
     /// The sensor could not serve the request (typed fault, quarantine, or
     /// a panic that just quarantined it).
     Fault(SensorFault),
+    /// The durable store rejected the append; the observation was **not**
+    /// absorbed (a value that is not durable must not advance the index).
+    Durability {
+        /// The store's error, stringified.
+        message: String,
+    },
 }
 
 impl ServeError {
@@ -129,6 +136,9 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::Fault(fault) => write!(f, "sensor fault: {fault}"),
+            ServeError::Durability { message } => {
+                write!(f, "durable store rejected the append: {message}")
+            }
         }
     }
 }
@@ -329,6 +339,10 @@ impl ServeHandle {
 pub struct SmilerServer {
     handle: ServeHandle,
     workers: Vec<std::thread::JoinHandle<()>>,
+    /// Workers hand their sensors (and health) back through this when they
+    /// exit, so a drained server can checkpoint the whole fleet.
+    drained: Receiver<(Vec<SensorPredictor>, Vec<SensorHealth>)>,
+    store: Option<SharedStore>,
 }
 
 impl SmilerServer {
@@ -336,6 +350,28 @@ impl SmilerServer {
     /// ids are their positions in `sensors`; sensor `s` lands on shard
     /// `s % shards`.
     pub fn start(device: Arc<Device>, sensors: Vec<SensorPredictor>, config: ServeConfig) -> Self {
+        Self::start_inner(device, sensors, config, None)
+    }
+
+    /// Like [`SmilerServer::start`], with a durable store attached: every
+    /// absorbed observation is WAL-logged *before* the sensor's index
+    /// advances, and [`SmilerServer::shutdown`] checkpoints the drained
+    /// fleet so a later `serve --data-dir` restart resumes warm.
+    pub fn start_with_store(
+        device: Arc<Device>,
+        sensors: Vec<SensorPredictor>,
+        config: ServeConfig,
+        store: SharedStore,
+    ) -> Self {
+        Self::start_inner(device, sensors, config, Some(store))
+    }
+
+    fn start_inner(
+        device: Arc<Device>,
+        sensors: Vec<SensorPredictor>,
+        config: ServeConfig,
+        store: Option<SharedStore>,
+    ) -> Self {
         let shards = config.shards.max(1);
         let fleet = sensors.len();
         let stats = Arc::new(ServeStats::default());
@@ -346,6 +382,7 @@ impl SmilerServer {
             partitions[id % shards].push(sensor);
         }
 
+        let (drained_tx, drained) = channel::bounded(shards);
         let mut senders = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
         for (shard, part) in partitions.into_iter().enumerate() {
@@ -360,10 +397,12 @@ impl SmilerServer {
                 config,
                 stats: Arc::clone(&stats),
                 rx,
+                store: store.clone(),
+                drained: drained_tx.clone(),
             };
             workers.push(std::thread::spawn(move || worker.run()));
         }
-        SmilerServer { handle: ServeHandle { senders, fleet, stats }, workers }
+        SmilerServer { handle: ServeHandle { senders, fleet, stats }, workers, drained, store }
     }
 
     /// A clonable client handle.
@@ -379,6 +418,12 @@ impl SmilerServer {
     /// Graceful shutdown: every queued request completes (drain), then the
     /// workers exit and are joined. Handles still held by clients answer
     /// [`ServeError::ShuttingDown`] afterwards.
+    ///
+    /// With a store attached ([`SmilerServer::start_with_store`]), the
+    /// drained fleet is checkpointed: healthy sensors contribute their
+    /// live state; a quarantined sensor's entry is rebuilt from the prior
+    /// durable checkpoint plus its WAL tail (the recovery ladder applied
+    /// at checkpoint time) so a torn predictor is never persisted.
     pub fn shutdown(self) -> ServeStatsSnapshot {
         for tx in &self.handle.senders {
             // A blocking send so the drain marker lands even on a full
@@ -390,7 +435,59 @@ impl SmilerServer {
                 panic::resume_unwind(payload);
             }
         }
+        if let Some(store) = &self.store {
+            let mut fleet: Vec<(SensorPredictor, SensorHealth)> = Vec::new();
+            while let Ok((sensors, health)) = self.drained.try_recv() {
+                fleet.extend(sensors.into_iter().zip(health));
+            }
+            fleet.sort_by_key(|(s, _)| s.sensor_id());
+            Self::checkpoint_drained(store, fleet);
+        }
         self.handle.stats.snapshot()
+    }
+
+    /// Checkpoint a drained fleet, never persisting a torn predictor.
+    fn checkpoint_drained(store: &SharedStore, fleet: Vec<(SensorPredictor, SensorHealth)>) {
+        let mut store = store.lock();
+        // Prior durable state backs the entries of quarantined sensors.
+        let prior = store.latest_checkpoint().ok().flatten().and_then(|(seq, payload)| {
+            let snaps = crate::durable::decode_fleet(&payload).ok()?;
+            let tail = store.read_tail(seq).ok()?;
+            Some((snaps, tail))
+        });
+        let mut snapshots = Vec::with_capacity(fleet.len());
+        for (sensor, health) in &fleet {
+            match health {
+                SensorHealth::Healthy => snapshots.push(sensor.snapshot()),
+                SensorHealth::Quarantined { .. } => {
+                    let rebuilt = prior.as_ref().and_then(|(snaps, tail)| {
+                        let mut snap =
+                            snaps.iter().find(|s| s.sensor_id == sensor.sensor_id())?.clone();
+                        for record in tail {
+                            if let smiler_store::WalRecord::Observe { sensor: id, value, .. } =
+                                record
+                            {
+                                if *id as usize == snap.sensor_id {
+                                    snap.history.push(*value);
+                                }
+                            }
+                        }
+                        Some(snap)
+                    });
+                    match rebuilt {
+                        Some(snap) => snapshots.push(snap),
+                        None => {
+                            // No durable fallback: drop the sensor from the
+                            // checkpoint rather than persist torn state.
+                            smiler_obs::count("store.checkpoint.sensor_dropped", "", 1);
+                        }
+                    }
+                }
+            }
+        }
+        if store.checkpoint(&crate::durable::encode_fleet(&snapshots)).is_err() {
+            smiler_obs::count("store.checkpoint_error", "", 1);
+        }
     }
 }
 
@@ -404,6 +501,10 @@ struct ShardWorker {
     config: ServeConfig,
     stats: Arc<ServeStats>,
     rx: Receiver<ShardMsg>,
+    /// Durable log: observations append here before any index advances.
+    store: Option<SharedStore>,
+    /// Hands the shard's sensors back to the server on exit.
+    drained: Sender<(Vec<SensorPredictor>, Vec<SensorHealth>)>,
 }
 
 /// What [`ShardWorker::collect_batch`] found after the forecast run ended.
@@ -445,6 +546,9 @@ impl ShardWorker {
                 }
             }
         }
+        // Hand the shard's sensors back so the server can checkpoint the
+        // drained fleet (no-op when nobody is listening).
+        let _ = self.drained.try_send((self.sensors, self.health));
     }
 
     /// Gather a micro-batch: consecutive forecasts already queued, topped
@@ -628,6 +732,15 @@ impl ShardWorker {
             let fault = SensorFault::Quarantined { message: message.clone() };
             let _ = job.reply.try_send(Err(ServeError::Fault(fault)));
             return;
+        }
+        // Durability first: the value reaches the WAL before the index
+        // advances; an append failure absorbs nothing.
+        if let Some(store) = &self.store {
+            if let Err(e) = store.lock().append_observe(job.sensor as u32, job.value) {
+                smiler_obs::count("store.append_error", "", 1);
+                let _ = job.reply.try_send(Err(ServeError::Durability { message: e.to_string() }));
+                return;
+            }
         }
         let sensor = &mut self.sensors[local];
         let outcome = panic::catch_unwind(AssertUnwindSafe(|| sensor.observe(job.value)));

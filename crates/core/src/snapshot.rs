@@ -10,17 +10,36 @@
 //! round-trips all of it through JSON; the index itself is deterministic in
 //! the history and is rebuilt on restore.
 //!
-//! Pending (not-yet-scored) predictions are deliberately dropped: their
-//! target values arrive after the restart and scoring them against a
-//! possibly different request stream would corrupt the weights.
+//! Since the durable store landed (PR 5), snapshots also carry the
+//! *transient* per-step state — pending (not-yet-scored) predictions, the
+//! GP retrain-cadence position and the degradation error counters — so that
+//! a predictor restored from a checkpoint continues **bitwise-identically**
+//! to one that never stopped. Pending entries are safe to restore even when
+//! the stream diverges after the snapshot: [`SensorPredictor::observe`]
+//! drops entries whose target already passed, so a stale pending list decays
+//! harmlessly instead of corrupting the weights. All three fields are
+//! `Option`-typed so snapshots written before PR 5 still deserialise
+//! (missing field → `None` → legacy drop-pending behaviour).
 
+use crate::degrade::ErrorState;
 use crate::ensemble::{EnsembleMatrix, EnsembleState};
 use crate::predictor::PredictorKind;
-use crate::sensor::{SensorPredictor, SmilerConfig};
+use crate::sensor::{RestoredHorizon, SensorPredictor, SmilerConfig};
 use smiler_gp::Hyperparams;
 use smiler_gpu::Device;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// One not-yet-scored prediction round of one horizon: the per-cell
+/// forecasts issued for history position `target`, awaiting the true value
+/// so the λ update can score them.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PendingPrediction {
+    /// History index the forecasts were issued for.
+    pub target: usize,
+    /// Per-cell `(mean, variance)`; `None` for cells that sat out.
+    pub cells: Vec<Option<(f64, f64)>>,
+}
 
 /// Adaptive state of one horizon's ensemble.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -31,6 +50,12 @@ pub struct HorizonSnapshot {
     pub ensemble: EnsembleState,
     /// Per-cell GP hyperparameters (`None` for untrained or AR cells).
     pub gp_hypers: Vec<Option<Hyperparams>>,
+    /// Not-yet-scored prediction rounds (`None` in pre-durability
+    /// snapshots; restored as empty).
+    pub pending: Option<Vec<PendingPrediction>>,
+    /// Per-cell steps-since-retrain cadence position (`None` in
+    /// pre-durability snapshots; restored as 0, i.e. just-trained).
+    pub gp_cadence: Option<Vec<usize>>,
 }
 
 /// Everything needed to reconstruct a [`SensorPredictor`] with its learned
@@ -47,6 +72,9 @@ pub struct SensorSnapshot {
     pub kind: PredictorKind,
     /// Per-horizon adaptive state.
     pub horizons: Vec<HorizonSnapshot>,
+    /// Degradation error counters (`None` in pre-durability snapshots;
+    /// restored as a clean slate).
+    pub errors: Option<ErrorState>,
 }
 
 impl SensorSnapshot {
@@ -64,11 +92,7 @@ impl SensorSnapshot {
 impl SensorPredictor {
     /// Capture a restorable snapshot of this predictor.
     pub fn snapshot(&self) -> SensorSnapshot {
-        let mut horizons: Vec<HorizonSnapshot> = self
-            .horizon_snapshots()
-            .into_iter()
-            .map(|(horizon, ensemble, gp_hypers)| HorizonSnapshot { horizon, ensemble, gp_hypers })
-            .collect();
+        let mut horizons = self.horizon_snapshots();
         horizons.sort_by_key(|h| h.horizon);
         SensorSnapshot {
             sensor_id: self.sensor_id(),
@@ -76,6 +100,7 @@ impl SensorPredictor {
             config: self.config().clone(),
             kind: self.kind(),
             horizons,
+            errors: Some(self.error_state()),
         }
     }
 
@@ -96,9 +121,20 @@ impl SensorPredictor {
         let mut states = HashMap::new();
         for h in snapshot.horizons {
             let ensemble = EnsembleMatrix::restore(snapshot.config.ensemble.clone(), h.ensemble);
-            states.insert(h.horizon, (ensemble, h.gp_hypers));
+            states.insert(
+                h.horizon,
+                RestoredHorizon {
+                    ensemble,
+                    gp_hypers: h.gp_hypers,
+                    pending: h.pending.unwrap_or_default(),
+                    gp_cadence: h.gp_cadence.unwrap_or_default(),
+                },
+            );
         }
         predictor.install_horizon_snapshots(states);
+        if let Some(errors) = snapshot.errors {
+            predictor.set_error_state(errors);
+        }
         predictor
     }
 }

@@ -12,6 +12,7 @@
 use crate::predictor::PredictorKind;
 use crate::sensor::{SensorPredictor, SmilerConfig};
 use smiler_gpu::Device;
+use smiler_store::SharedStore;
 use smiler_timeseries::normalize::ZNorm;
 use std::sync::Arc;
 
@@ -34,6 +35,12 @@ pub enum StreamError {
         /// Configured maximum.
         max: usize,
     },
+    /// The attached durable store rejected the append; nothing was
+    /// absorbed (a value that is not durable must not advance the index).
+    Store {
+        /// The store's error, stringified (I/O errors are not `Clone`).
+        message: String,
+    },
 }
 
 impl std::fmt::Display for StreamError {
@@ -45,6 +52,9 @@ impl std::fmt::Display for StreamError {
             StreamError::NotFinite => write!(f, "observation is not a finite number"),
             StreamError::GapTooLarge { missing, max } => {
                 write!(f, "gap of {missing} ticks exceeds the interpolation limit {max}")
+            }
+            StreamError::Store { message } => {
+                write!(f, "durable store rejected the append: {message}")
             }
         }
     }
@@ -75,6 +85,9 @@ pub struct SensorStream {
     newest_value: f64,
     /// Longest gap (in ticks) that will be linearly filled.
     max_gap: usize,
+    /// Optional durable log: every absorbed (normalised) value is appended
+    /// *before* the predictor's index advances.
+    store: Option<SharedStore>,
 }
 
 impl SensorStream {
@@ -106,12 +119,21 @@ impl SensorStream {
             newest: last_timestamp,
             newest_value,
             max_gap: 16,
+            store: None,
         }
     }
 
     /// Change the interpolation limit (ticks).
     pub fn with_max_gap(mut self, max_gap: usize) -> Self {
         self.max_gap = max_gap;
+        self
+    }
+
+    /// Attach a durable store: every sample [`SensorStream::ingest`]
+    /// absorbs (including interpolated fills) is WAL-logged under this
+    /// sensor's id *before* the in-memory index advances.
+    pub fn with_store(mut self, store: SharedStore) -> Self {
+        self.store = Some(store);
         self
     }
 
@@ -147,10 +169,26 @@ impl SensorStream {
             return Err(StreamError::GapTooLarge { missing, max: self.max_gap });
         }
         // Linear fill from the previous raw value to this one.
-        for i in 1..=ticks {
-            let frac = i as f64 / ticks as f64;
-            let raw = self.newest_value * (1.0 - frac) + raw_value * frac;
-            self.predictor.observe(self.znorm.apply(raw));
+        let values: Vec<f64> = (1..=ticks)
+            .map(|i| {
+                let frac = i as f64 / ticks as f64;
+                self.znorm.apply(self.newest_value * (1.0 - frac) + raw_value * frac)
+            })
+            .collect();
+        // Durability first: every value reaches the WAL before any index
+        // advances, so a crash mid-ingest replays the whole batch and an
+        // append failure absorbs nothing (the clock stays put too).
+        if let Some(store) = &self.store {
+            let sensor = self.predictor.sensor_id() as u32;
+            let mut store = store.lock();
+            for &v in &values {
+                store
+                    .append_observe(sensor, v)
+                    .map_err(|e| StreamError::Store { message: e.to_string() })?;
+            }
+        }
+        for v in values {
+            self.predictor.observe(v);
         }
         self.newest += ticks as u64 * self.interval;
         self.newest_value = raw_value;

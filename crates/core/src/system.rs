@@ -159,6 +159,33 @@ impl SmilerSystem {
         (SmilerSystem { device, sensors, health, snapshots, rounds_since_refresh: 0 }, rejection)
     }
 
+    /// Assemble a fleet from predictors already restored from durable
+    /// state (checkpoint decode). Device memory is reserved exactly as in
+    /// [`SmilerSystem::new`]; sensors past the first rejection are dropped.
+    pub(crate) fn from_restored(
+        device: Arc<Device>,
+        restored: Vec<SensorPredictor>,
+    ) -> (Self, Option<OutOfDeviceMemory>) {
+        let mut sensors = Vec::new();
+        let mut rejection = None;
+        for predictor in restored {
+            let needed = predictor.device_bytes();
+            if device.try_reserve_memory(needed) {
+                sensors.push(predictor);
+            } else {
+                rejection = Some(OutOfDeviceMemory {
+                    sensor_id: predictor.sensor_id(),
+                    needed,
+                    available: device.memory_capacity() - device.memory_used(),
+                });
+                break;
+            }
+        }
+        let health = vec![SensorHealth::Healthy; sensors.len()];
+        let snapshots = sensors.iter().map(|s| s.snapshot()).collect();
+        (SmilerSystem { device, sensors, health, snapshots, rounds_since_refresh: 0 }, rejection)
+    }
+
     /// Number of resident sensors.
     pub fn len(&self) -> usize {
         self.sensors.len()
@@ -174,9 +201,44 @@ impl SmilerSystem {
         &self.device
     }
 
+    /// The shared device handle (for rebuilding sensors on it).
+    pub(crate) fn device_arc(&self) -> &Arc<Device> {
+        &self.device
+    }
+
+    /// Shared access to one sensor's predictor.
+    pub fn sensor(&self, idx: usize) -> &SensorPredictor {
+        &self.sensors[idx]
+    }
+
     /// Mutable access to one sensor's predictor.
     pub fn sensor_mut(&mut self, idx: usize) -> &mut SensorPredictor {
         &mut self.sensors[idx]
+    }
+
+    /// Per-sensor snapshots safe to persist: a healthy sensor contributes
+    /// its *current* state; a quarantined sensor contributes its **last
+    /// good snapshot** (which kept absorbing observations while fenced
+    /// off), never the torn in-memory predictor a panic may have left
+    /// mid-update. This is the durable-checkpoint entry point.
+    pub fn durable_snapshots(&self) -> Vec<SensorSnapshot> {
+        self.sensors
+            .iter()
+            .enumerate()
+            .map(|(idx, s)| match self.health[idx] {
+                SensorHealth::Healthy => s.snapshot(),
+                SensorHealth::Quarantined { .. } => self.snapshots[idx].clone(),
+            })
+            .collect()
+    }
+
+    /// Install an externally rebuilt predictor (the durable store's
+    /// recovery rung) and mark the sensor healthy.
+    pub(crate) fn install_recovered(&mut self, idx: usize, predictor: SensorPredictor) {
+        self.snapshots[idx] = predictor.snapshot();
+        self.sensors[idx] = predictor;
+        self.health[idx] = SensorHealth::Healthy;
+        smiler_obs::count("health.sensor_recovered", "store", 1);
     }
 
     /// Predict horizon `h` for every resident sensor.
@@ -317,6 +379,14 @@ impl SmilerSystem {
             .collect()
     }
 
+    /// Test support: wreck the stored recovery snapshot for `idx` so the
+    /// in-memory rung of the recovery ladder fails (restore panics on an
+    /// empty history) and callers fall through to the durable-store rung.
+    #[doc(hidden)]
+    pub fn poison_snapshot_for_tests(&mut self, idx: usize) {
+        self.snapshots[idx].history.clear();
+    }
+
     /// Rebuild a quarantined sensor from its last good snapshot (including
     /// the observations that arrived while it was fenced off) and mark it
     /// healthy. Returns `true` on success; `false` if the sensor was not
@@ -352,6 +422,13 @@ impl SmilerSystem {
     /// `(mean, variance)` forecasts made *before* the observations were
     /// seen.
     ///
+    /// Health-aware: a quarantined sensor is **never touched** — it
+    /// reports `(NaN, ∞)` and its *snapshot* absorbs the observation, the
+    /// same contract as [`SmilerSystem::observe_all`]. (It used to drive
+    /// the torn predictor anyway, re-panicking or corrupting state, and
+    /// never refreshed recovery snapshots — so a crash during a
+    /// `step`-driven run recovered to an arbitrarily stale point.)
+    ///
     /// With observability on, the step runs under a `step` span, records a
     /// per-sensor latency histogram (`step.sensor_seconds`), and updates
     /// the `sensors.resident` / `cells.active` / `cells.sleeping` gauges.
@@ -365,7 +442,13 @@ impl SmilerSystem {
         let mut predictions = Vec::with_capacity(self.sensors.len());
         // Sensors are independent, so interleaving predict/observe per
         // sensor is equivalent to predict_all followed by observe_all.
-        for (s, &v) in self.sensors.iter_mut().zip(observations) {
+        for (idx, &v) in observations.iter().enumerate() {
+            if matches!(self.health[idx], SensorHealth::Quarantined { .. }) {
+                self.snapshots[idx].history.push(v);
+                predictions.push((f64::NAN, f64::INFINITY));
+                continue;
+            }
+            let s = &mut self.sensors[idx];
             let started = if obs_on { Some(std::time::Instant::now()) } else { None };
             predictions.push(s.predict(h));
             s.observe(v);
@@ -373,6 +456,7 @@ impl SmilerSystem {
                 smiler_obs::observe("step.sensor_seconds", "", started.elapsed().as_secs_f64());
             }
         }
+        self.tick_snapshot_refresh();
         if obs_on {
             smiler_obs::gauge_set("sensors.resident", "", self.sensors.len() as f64);
             let (mut active, mut sleeping) = (0usize, 0usize);
@@ -406,6 +490,14 @@ impl SmilerSystem {
                 SensorHealth::Quarantined { .. } => self.snapshots[idx].history.push(v),
             }
         }
+        self.tick_snapshot_refresh();
+    }
+
+    /// Advance the observation-round counter and, every
+    /// [`SNAPSHOT_REFRESH_INTERVAL`] rounds, refresh the recovery
+    /// snapshots of **healthy** sensors only — a quarantined sensor's
+    /// recovery point must never be overwritten by its torn live state.
+    fn tick_snapshot_refresh(&mut self) {
         self.rounds_since_refresh += 1;
         if self.rounds_since_refresh >= SNAPSHOT_REFRESH_INTERVAL {
             self.rounds_since_refresh = 0;
@@ -415,6 +507,12 @@ impl SmilerSystem {
                 }
             }
         }
+    }
+
+    /// Dismantle the fleet into its sensors (e.g. to hand them to the
+    /// sharded serving frontend).
+    pub fn into_sensors(self) -> Vec<SensorPredictor> {
+        self.sensors
     }
 
     /// Total device bytes the resident indexes occupy.
@@ -542,6 +640,66 @@ mod tests {
     fn capacity_arithmetic() {
         assert_eq!(SmilerSystem::capacity_in_sensors(6_000_000, 6_000), 1000);
         assert_eq!(SmilerSystem::capacity_in_sensors(5, 10), 0);
+    }
+
+    #[test]
+    fn step_skips_quarantined_sensors_and_feeds_their_snapshots() {
+        use crate::sensor::FaultKind;
+        let device = Arc::new(Device::default_gpu());
+        let (mut system, _) = SmilerSystem::new(
+            device,
+            histories(3, 300),
+            SmilerConfig::small_for_tests(),
+            PredictorKind::Aggregation,
+        );
+        system.sensor_mut(1).inject_fault(FaultKind::PanicOnPredict);
+        let results = system.predict_all_robust(1, &RequestPolicy::default());
+        assert!(results[1].is_err());
+        assert!(matches!(system.health(1), SensorHealth::Quarantined { .. }));
+        let history_before = system.durable_snapshots()[1].history.len();
+
+        // Regression: step() used to drive the quarantined predictor
+        // anyway, re-panicking on the injected fault. It must now skip it
+        // (NaN marker) and let the recovery snapshot absorb the values.
+        for round in 0..20 {
+            let preds = system.step(1, &[0.1, 0.2, 0.3 + round as f64 * 0.01]);
+            assert!(preds[0].0.is_finite() && preds[2].0.is_finite());
+            assert!(preds[1].0.is_nan() && preds[1].1.is_infinite());
+        }
+        let snaps = system.durable_snapshots();
+        assert_eq!(snaps[1].history.len(), history_before + 20, "snapshot must absorb values");
+        // And recovery resumes from the absorbed history.
+        assert!(system.recover(1));
+        assert_eq!(system.sensor(1).history().len(), history_before + 20);
+        let preds = system.step(1, &[0.0, 0.0, 0.0]);
+        assert!(preds[1].0.is_finite());
+    }
+
+    #[test]
+    fn step_refreshes_recovery_snapshots_of_healthy_sensors() {
+        let device = Arc::new(Device::default_gpu());
+        let (mut system, _) = SmilerSystem::new(
+            device,
+            histories(2, 300),
+            SmilerConfig::small_for_tests(),
+            PredictorKind::Aggregation,
+        );
+        // Regression: step() never refreshed recovery snapshots, so a
+        // sensor quarantined after N step() rounds recovered to the
+        // construction-time state, losing every absorbed observation.
+        let rounds = SNAPSHOT_REFRESH_INTERVAL as usize + 1;
+        for i in 0..rounds {
+            system.step(1, &[i as f64 * 0.01, i as f64 * 0.02]);
+        }
+        system.sensor_mut(0).inject_fault(crate::sensor::FaultKind::PanicOnPredict);
+        let _ = system.predict_all_robust(1, &RequestPolicy::default());
+        assert!(matches!(system.health(0), SensorHealth::Quarantined { .. }));
+        assert!(system.recover(0));
+        assert!(
+            system.sensor(0).history().len() >= 300 + SNAPSHOT_REFRESH_INTERVAL as usize,
+            "recovered to a stale point: {} values",
+            system.sensor(0).history().len()
+        );
     }
 
     #[test]

@@ -1,0 +1,396 @@
+//! The store facade: one directory holding a WAL and its checkpoints.
+//!
+//! ```text
+//! <data-dir>/
+//! ├── wal/    wal-00000001.seg …          (append-only, segment-rotated)
+//! └── ckpt/   ckpt-0000000000000042.ck …  (last N kept, atomic replace)
+//! ```
+//!
+//! [`Store::open`] performs recovery: newest valid checkpoint (corrupt
+//! ones quarantined), then the WAL records *after* that checkpoint's
+//! sequence number as the replay tail. [`Store::checkpoint`] writes a new
+//! cut, prunes old checkpoints, and prunes WAL segments wholly covered by
+//! the oldest retained checkpoint — steady state disk usage is bounded.
+
+use crate::checkpoint;
+use crate::codec::CodecError;
+use crate::wal::{Wal, WalRecord};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// When appends become power-loss durable (every append is already
+/// process-kill durable: bytes reach the OS before `append` returns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushPolicy {
+    /// `fsync` after every append. Safest, slowest.
+    Always,
+    /// `fsync` once per N appends (group commit).
+    EveryN(u64),
+    /// `fsync` when at least this many milliseconds passed since the last.
+    IntervalMs(u64),
+}
+
+impl Default for FlushPolicy {
+    fn default() -> Self {
+        FlushPolicy::EveryN(32)
+    }
+}
+
+impl std::fmt::Display for FlushPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlushPolicy::Always => write!(f, "always"),
+            FlushPolicy::EveryN(n) => write!(f, "every-{n}"),
+            FlushPolicy::IntervalMs(ms) => write!(f, "interval-{ms}"),
+        }
+    }
+}
+
+impl std::str::FromStr for FlushPolicy {
+    type Err = String;
+
+    /// Accepts `always`, `every-<n>` or `interval-<ms>`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "always" {
+            return Ok(FlushPolicy::Always);
+        }
+        if let Some(n) = s.strip_prefix("every-") {
+            return match n.parse::<u64>() {
+                Ok(n) if n > 0 => Ok(FlushPolicy::EveryN(n)),
+                _ => Err(format!("bad group-commit size in '{s}'")),
+            };
+        }
+        if let Some(ms) = s.strip_prefix("interval-") {
+            let ms = ms.strip_suffix("ms").unwrap_or(ms);
+            return match ms.parse::<u64>() {
+                Ok(ms) if ms > 0 => Ok(FlushPolicy::IntervalMs(ms)),
+                _ => Err(format!("bad interval in '{s}'")),
+            };
+        }
+        Err(format!("unknown flush policy '{s}' (use always | every-<n> | interval-<ms>)"))
+    }
+}
+
+/// Tunables for a [`Store`].
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Group-commit fsync policy for the WAL.
+    pub flush: FlushPolicy,
+    /// Rotate WAL segments at roughly this size.
+    pub segment_bytes: u64,
+    /// How many checkpoints to retain (older ones and the WAL segments
+    /// they cover are pruned).
+    pub keep_checkpoints: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig { flush: FlushPolicy::default(), segment_bytes: 8 << 20, keep_checkpoints: 2 }
+    }
+}
+
+/// Failures from the durability layer.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The operating system said no.
+    Io(std::io::Error),
+    /// A durable buffer failed structural decoding.
+    Codec(CodecError),
+    /// The recovered state is unusable for the requested operation.
+    Recovery(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store io error: {e}"),
+            StoreError::Codec(e) => write!(f, "store codec error: {e}"),
+            StoreError::Recovery(msg) => write!(f, "store recovery error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> Self {
+        StoreError::Codec(e)
+    }
+}
+
+/// Everything [`Store::open`] recovered and repaired.
+#[derive(Debug, Clone)]
+pub struct Recovery {
+    /// Sequence number of the checkpoint recovery started from, if any.
+    pub checkpoint_seq: Option<u64>,
+    /// The checkpoint's opaque payload, if any.
+    pub checkpoint_payload: Option<Vec<u8>>,
+    /// WAL records newer than the checkpoint, in append order.
+    pub replay: Vec<WalRecord>,
+    /// Checkpoint files renamed aside for failing validation.
+    pub quarantined_checkpoints: usize,
+    /// WAL segments renamed aside for mid-log corruption.
+    pub quarantined_segments: usize,
+    /// Bytes cut off the WAL's torn tail.
+    pub truncated_bytes: u64,
+    /// Wall-clock seconds spent opening and repairing.
+    pub open_seconds: f64,
+}
+
+impl Recovery {
+    /// Whether recovery started from scratch (no checkpoint, no WAL tail).
+    pub fn is_cold(&self) -> bool {
+        self.checkpoint_seq.is_none() && self.replay.is_empty()
+    }
+}
+
+/// A durable store rooted at one data directory.
+pub struct Store {
+    dir: PathBuf,
+    wal: Wal,
+    config: StoreConfig,
+}
+
+impl Store {
+    fn wal_dir(dir: &Path) -> PathBuf {
+        dir.join("wal")
+    }
+
+    fn ckpt_dir(dir: &Path) -> PathBuf {
+        dir.join("ckpt")
+    }
+
+    /// Open (creating if absent) the store at `dir` and run recovery.
+    pub fn open(dir: &Path, config: StoreConfig) -> Result<(Store, Recovery), StoreError> {
+        let started = Instant::now();
+        let _span = smiler_obs::span("store.open");
+        std::fs::create_dir_all(dir)?;
+        let (loaded, quarantined_checkpoints) = checkpoint::load_latest(&Self::ckpt_dir(dir))?;
+        let (wal, records, report) = Wal::open(&Self::wal_dir(dir), &config)?;
+        let checkpoint_seq = loaded.as_ref().map(|c| c.seq);
+        let floor = checkpoint_seq.unwrap_or(0);
+        let replay: Vec<WalRecord> = records.into_iter().filter(|r| r.seq() > floor).collect();
+        if smiler_obs::enabled() {
+            smiler_obs::count("store.replayed_records", "", replay.len() as u64);
+            smiler_obs::observe("store.recover_seconds", "", started.elapsed().as_secs_f64());
+        }
+        let recovery = Recovery {
+            checkpoint_seq,
+            checkpoint_payload: loaded.map(|c| c.payload),
+            replay,
+            quarantined_checkpoints,
+            quarantined_segments: report.quarantined_segments,
+            truncated_bytes: report.truncated_bytes,
+            open_seconds: started.elapsed().as_secs_f64(),
+        };
+        Ok((Store { dir: dir.to_path_buf(), wal, config }, recovery))
+    }
+
+    /// The data directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Sequence number of the most recent durable record (0 = none yet).
+    pub fn last_seq(&self) -> u64 {
+        self.wal.last_seq()
+    }
+
+    /// Log one observation for one sensor. Returns its sequence number.
+    pub fn append_observe(&mut self, sensor: u32, value: f64) -> Result<u64, StoreError> {
+        Ok(self.wal.append(|seq| WalRecord::Observe { seq, sensor, value })?)
+    }
+
+    /// Log one fleet round (predict `horizon`, then one value per sensor;
+    /// horizon 0 = observe-only). Returns its sequence number.
+    pub fn append_round(&mut self, horizon: u32, values: &[f64]) -> Result<u64, StoreError> {
+        Ok(self.wal.append(|seq| WalRecord::Round { seq, horizon, values: values.to_vec() })?)
+    }
+
+    /// Force the WAL to the platter regardless of flush policy.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        Ok(self.wal.sync()?)
+    }
+
+    /// Re-read the newest valid checkpoint from disk (invalid ones are
+    /// quarantined exactly as during [`Store::open`]). The per-sensor
+    /// recovery rung uses this while the store stays open.
+    pub fn latest_checkpoint(&self) -> Result<Option<(u64, Vec<u8>)>, StoreError> {
+        let (loaded, _) = checkpoint::load_latest(&Self::ckpt_dir(&self.dir))?;
+        Ok(loaded.map(|c| (c.seq, c.payload)))
+    }
+
+    /// Re-read every replayable WAL record with sequence number greater
+    /// than `after_seq`, without disturbing the append handle.
+    pub fn read_tail(&self, after_seq: u64) -> Result<Vec<WalRecord>, StoreError> {
+        let records = crate::wal::read_records(&Self::wal_dir(&self.dir))?;
+        Ok(records.into_iter().filter(|r| r.seq() > after_seq).collect())
+    }
+
+    /// Write `payload` as a checkpoint covering everything logged so far,
+    /// then prune checkpoints beyond the retention count and WAL segments
+    /// the oldest retained checkpoint makes redundant. Returns the
+    /// sequence number the checkpoint covers.
+    pub fn checkpoint(&mut self, payload: &[u8]) -> Result<u64, StoreError> {
+        let _span = smiler_obs::span("store.checkpoint");
+        let started = Instant::now();
+        // Order matters: the WAL must be durable through `seq` before the
+        // checkpoint claiming to cover `seq` exists.
+        self.wal.sync()?;
+        let seq = self.wal.last_seq();
+        let ckpt_dir = Self::ckpt_dir(&self.dir);
+        checkpoint::write(&ckpt_dir, seq, payload)?;
+        if let Some(oldest_kept) = checkpoint::prune(&ckpt_dir, self.config.keep_checkpoints)? {
+            self.wal.prune_below(oldest_kept)?;
+        }
+        if smiler_obs::enabled() {
+            smiler_obs::observe("store.checkpoint_seconds", "", started.elapsed().as_secs_f64());
+        }
+        Ok(seq)
+    }
+}
+
+/// A store behind a mutex, shareable across shard workers.
+pub type SharedStore = Arc<parking_lot::Mutex<Store>>;
+
+/// Wrap a store for sharing across threads.
+pub fn shared(store: Store) -> SharedStore {
+    Arc::new(parking_lot::Mutex::new(store))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("smiler_store_{name}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn config() -> StoreConfig {
+        StoreConfig { flush: FlushPolicy::Always, ..StoreConfig::default() }
+    }
+
+    #[test]
+    fn flush_policy_parses() {
+        assert_eq!("always".parse::<FlushPolicy>().unwrap(), FlushPolicy::Always);
+        assert_eq!("every-16".parse::<FlushPolicy>().unwrap(), FlushPolicy::EveryN(16));
+        assert_eq!("interval-50".parse::<FlushPolicy>().unwrap(), FlushPolicy::IntervalMs(50));
+        assert_eq!("interval-50ms".parse::<FlushPolicy>().unwrap(), FlushPolicy::IntervalMs(50));
+        assert!("every-0".parse::<FlushPolicy>().is_err());
+        assert!("sometimes".parse::<FlushPolicy>().is_err());
+        assert_eq!(FlushPolicy::EveryN(8).to_string(), "every-8");
+    }
+
+    #[test]
+    fn cold_open_then_append_then_recover() {
+        let dir = tmpdir("cold");
+        {
+            let (mut store, recovery) = Store::open(&dir, config()).unwrap();
+            assert!(recovery.is_cold());
+            store.append_observe(3, 1.25).unwrap();
+            store.append_round(2, &[0.5, f64::NAN, -0.0]).unwrap();
+        }
+        let (store, recovery) = Store::open(&dir, config()).unwrap();
+        assert_eq!(recovery.checkpoint_seq, None);
+        assert_eq!(recovery.replay.len(), 2);
+        assert_eq!(store.last_seq(), 2);
+        match &recovery.replay[1] {
+            WalRecord::Round { horizon, values, .. } => {
+                assert_eq!(*horizon, 2);
+                assert!(values[1].is_nan());
+                assert_eq!(values[2].to_bits(), (-0.0f64).to_bits());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_bounds_replay_tail() {
+        let dir = tmpdir("tail");
+        {
+            let (mut store, _) = Store::open(&dir, config()).unwrap();
+            for i in 0..10 {
+                store.append_observe(0, i as f64).unwrap();
+            }
+            let seq = store.checkpoint(b"fleet state at 10").unwrap();
+            assert_eq!(seq, 10);
+            for i in 10..13 {
+                store.append_observe(0, i as f64).unwrap();
+            }
+        }
+        let (_, recovery) = Store::open(&dir, config()).unwrap();
+        assert_eq!(recovery.checkpoint_seq, Some(10));
+        assert_eq!(recovery.checkpoint_payload.as_deref(), Some(&b"fleet state at 10"[..]));
+        let seqs: Vec<u64> = recovery.replay.iter().map(|r| r.seq()).collect();
+        assert_eq!(seqs, vec![11, 12, 13], "only the tail after the checkpoint replays");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_falls_back_and_replays_longer_tail() {
+        let dir = tmpdir("fallback");
+        {
+            let (mut store, _) = Store::open(&dir, config()).unwrap();
+            for i in 0..6 {
+                store.append_observe(0, i as f64).unwrap();
+            }
+            store.checkpoint(b"at 6").unwrap();
+            for i in 6..9 {
+                store.append_observe(0, i as f64).unwrap();
+            }
+            store.checkpoint(b"at 9").unwrap();
+            store.append_observe(0, 9.0).unwrap();
+        }
+        // Corrupt the newest checkpoint file.
+        let ck = Store::ckpt_dir(&dir).join(format!("ckpt-{:016}.ck", 9));
+        let mut bytes = fs::read(&ck).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x10;
+        fs::write(&ck, &bytes).unwrap();
+
+        let (_, recovery) = Store::open(&dir, config()).unwrap();
+        assert_eq!(recovery.quarantined_checkpoints, 1);
+        assert_eq!(recovery.checkpoint_seq, Some(6), "fell back to the previous checkpoint");
+        assert_eq!(recovery.checkpoint_payload.as_deref(), Some(&b"at 6"[..]));
+        let seqs: Vec<u64> = recovery.replay.iter().map(|r| r.seq()).collect();
+        assert_eq!(seqs, vec![7, 8, 9, 10], "the longer tail covers the lost checkpoint");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_retention_prunes_files() {
+        let dir = tmpdir("retention");
+        let cfg =
+            StoreConfig { flush: FlushPolicy::Always, segment_bytes: 256, keep_checkpoints: 2 };
+        let (mut store, _) = Store::open(&dir, cfg).unwrap();
+        for round in 0..5 {
+            for i in 0..20 {
+                store.append_observe(0, (round * 20 + i) as f64).unwrap();
+            }
+            store.checkpoint(format!("round {round}").as_bytes()).unwrap();
+        }
+        let checkpoints = checkpoint::list(&Store::ckpt_dir(&dir)).unwrap();
+        assert_eq!(checkpoints.len(), 2, "retention keeps the newest two");
+        // WAL segments wholly below the oldest kept checkpoint are gone.
+        let wal_files = fs::read_dir(Store::wal_dir(&dir)).unwrap().count();
+        assert!(wal_files < 10, "expected pruned WAL, found {wal_files} files");
+        // And recovery still works from what remains.
+        drop(store);
+        let (_, recovery) = Store::open(&dir, config()).unwrap();
+        assert_eq!(recovery.checkpoint_seq, Some(100));
+        assert_eq!(recovery.checkpoint_payload.as_deref(), Some(&b"round 4"[..]));
+        assert!(recovery.replay.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

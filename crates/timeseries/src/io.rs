@@ -52,17 +52,35 @@ impl From<std::io::Error> for IoError {
 
 /// Read a series from a reader: one value per line, or CSV with an optional
 /// header. `column` selects a CSV column by name (header required) or, when
-/// `None`, the first numeric column is used. Blank lines and `#` comments
-/// are skipped.
+/// `None`, the first numeric column is used. `#` comments are skipped.
+///
+/// An **empty field** (a blank line in single-column data, or an empty cell
+/// in a CSV row) is a measurement gap and reads as `NaN`. Gaps used to be
+/// dropped as skipped rows, silently shifting every later value one tick
+/// earlier — fatal for WAL replay, which relies on positional alignment.
+/// Blank lines before a header row are decorative and still skipped; blank
+/// lines before the first *data* row are gaps.
 pub fn read_series(reader: impl Read, column: Option<&str>) -> Result<Vec<f64>, IoError> {
     let reader = BufReader::new(reader);
     let mut values = Vec::new();
     let mut col_index: Option<usize> = None;
     let mut header_seen = false;
+    // Blank lines seen before the first content row: gaps if that row is
+    // data, decoration if it is a header. Resolved once we know which.
+    let mut leading_gaps = 0usize;
     for (idx, line) in reader.lines().enumerate() {
         let line = line?;
         let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
+        if trimmed.starts_with('#') {
+            continue;
+        }
+        if trimmed.is_empty() {
+            if header_seen {
+                // An empty row inside the data is a gap, not a skip.
+                values.push(f64::NAN);
+            } else {
+                leading_gaps += 1;
+            }
             continue;
         }
         let cells: Vec<&str> = trimmed.split(',').map(str::trim).collect();
@@ -80,9 +98,11 @@ pub fn read_series(reader: impl Read, column: Option<&str>) -> Result<Vec<f64>, 
                     None => return Err(IoError::MissingColumn { column: name.to_string() }),
                 }
             }
-            // No named column: if the first cell parses, it is data.
-            if cells[0].parse::<f64>().is_ok() {
+            // No named column: if the first cell parses (or is a gap), it
+            // is data — and any blank lines above it were gaps too.
+            if cells[0].is_empty() || cells[0].parse::<f64>().is_ok() {
                 col_index = Some(0);
+                values.resize(leading_gaps, f64::NAN);
                 // fall through to parse this row as data
             } else {
                 col_index = Some(0);
@@ -101,6 +121,10 @@ pub fn read_series(reader: impl Read, column: Option<&str>) -> Result<Vec<f64>, 
             }
         };
         let cell = cells.get(p).copied().unwrap_or("");
+        if cell.is_empty() {
+            values.push(f64::NAN);
+            continue;
+        }
         let v: f64 =
             cell.parse().map_err(|_| IoError::Parse { line: idx + 1, text: cell.to_string() })?;
         values.push(v);
@@ -117,10 +141,17 @@ pub fn read_series_file(path: impl AsRef<Path>, column: Option<&str>) -> Result<
     read_series(file, column)
 }
 
-/// Write a series, one value per line.
+/// Write a series, one value per line. A `NaN` gap is written as an empty
+/// field so [`read_series`] recovers it in place — the write→read roundtrip
+/// is lossless (finite values print in Rust's shortest-exact form and parse
+/// back to the identical bits; gaps come back as `NaN` at the same index).
 pub fn write_series(mut writer: impl Write, values: &[f64]) -> std::io::Result<()> {
     for v in values {
-        writeln!(writer, "{v}")?;
+        if v.is_nan() {
+            writeln!(writer)?;
+        } else {
+            writeln!(writer, "{v}")?;
+        }
     }
     Ok(())
 }
@@ -131,8 +162,35 @@ mod tests {
 
     #[test]
     fn reads_plain_values() {
-        let input = "1.5\n2.5\n\n# comment\n3.5\n";
+        let input = "1.5\n2.5\n# comment\n3.5\n";
         assert_eq!(read_series(input.as_bytes(), None).unwrap(), vec![1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn blank_rows_are_gaps_not_skips() {
+        // A blank line inside the data marks a missing measurement; it must
+        // hold its position instead of shifting everything after it.
+        let got = read_series("1.5\n2.5\n\n3.5\n".as_bytes(), None).unwrap();
+        assert_eq!(got.len(), 4);
+        assert_eq!(got[0], 1.5);
+        assert_eq!(got[1], 2.5);
+        assert!(got[2].is_nan());
+        assert_eq!(got[3], 3.5);
+
+        // Empty CSV cells are gaps in the selected column only.
+        let got = read_series("time,speed\n0,55\n1,\n2,42\n".as_bytes(), Some("speed")).unwrap();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0], 55.0);
+        assert!(got[1].is_nan());
+        assert_eq!(got[2], 42.0);
+
+        // Blank lines above a header are decoration; above data, gaps.
+        let got = read_series("\n\nvalue\n7.0\n".as_bytes(), None).unwrap();
+        assert_eq!(got, vec![7.0]);
+        let got = read_series("\n7.0\n".as_bytes(), None).unwrap();
+        assert_eq!(got.len(), 2);
+        assert!(got[0].is_nan());
+        assert_eq!(got[1], 7.0);
     }
 
     #[test]
@@ -190,6 +248,50 @@ mod tests {
         let mut buf = Vec::new();
         write_series(&mut buf, &values).unwrap();
         assert_eq!(read_series(buf.as_slice(), None).unwrap(), values);
+    }
+
+    /// Property test: for randomly generated series (finite values, signed
+    /// zeros, subnormals, infinities, NaN gaps in random positions — but at
+    /// least one value, since an all-gap file is indistinguishable from an
+    /// empty one), write→read returns the identical bits at the identical
+    /// index, with every gap still a gap.
+    #[test]
+    fn write_read_roundtrip_is_lossless_for_gapped_series() {
+        let mut state = 0x0123_4567_89AB_CDEFu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for case in 0..200 {
+            let len = 1 + (next() % 40) as usize;
+            let mut values: Vec<f64> = (0..len)
+                .map(|_| match next() % 8 {
+                    0 => f64::NAN,                           // gap
+                    1 => -(next() as f64 / u64::MAX as f64), // negative
+                    2 => f64::from_bits(next() % 4096),      // subnormal
+                    3 => -0.0,
+                    4 => f64::INFINITY,
+                    5 => f64::NEG_INFINITY,
+                    _ => (next() as f64 / u64::MAX as f64) * 1e6,
+                })
+                .collect();
+            if values.iter().all(|v| v.is_nan()) {
+                values[0] = 1.0;
+            }
+            let mut buf = Vec::new();
+            write_series(&mut buf, &values).unwrap();
+            let back = read_series(buf.as_slice(), None).unwrap();
+            assert_eq!(back.len(), values.len(), "case {case}: length changed");
+            for (i, (a, b)) in values.iter().zip(&back).enumerate() {
+                if a.is_nan() {
+                    assert!(b.is_nan(), "case {case}[{i}]: gap became {b}");
+                } else {
+                    assert_eq!(a.to_bits(), b.to_bits(), "case {case}[{i}]: {a} came back as {b}");
+                }
+            }
+        }
     }
 
     #[test]
