@@ -17,7 +17,9 @@ cargo fmt --check
 # The serving request path must stay panic-free: no .unwrap()/.expect(
 # outside #[cfg(test)] in the files the fallible API flows through. The
 # durability layer is held to the same bar: a corrupt byte on disk must
-# surface as a typed StoreError, never a panic.
+# surface as a typed StoreError, never a panic. So is the observability
+# path: tracing and telemetry ride every request, and a panicking
+# trace mark would take the request down with it.
 echo "==> panic-free request path (no unwrap/expect in serving files)"
 GATED_FILES=(
     crates/core/src/system.rs
@@ -32,6 +34,9 @@ GATED_FILES=(
     crates/store/src/lib.rs
     crates/store/src/store.rs
     crates/store/src/wal.rs
+    crates/obs/src/trace.rs
+    crates/obs/src/window.rs
+    crates/obs/src/stamp.rs
 )
 GATE_FAIL=0
 for f in "${GATED_FILES[@]}"; do
@@ -67,6 +72,12 @@ if [[ "$QUICK" == "1" ]]; then
     echo "==> cargo test --test durability (kill/restore bitwise smoke)"
     cargo test -p smiler-core --test durability
 
+    # Request tracing: exactly one schema-valid terminal per admitted
+    # request, bitwise-invisible to predictions, batch-id linking, and the
+    # status surface (windowed tails, rung mix, SLO burn, model quality).
+    echo "==> cargo test --test tracing (request traces + status surface)"
+    cargo test -p smiler-core --test tracing
+
     # The load-generating bench entry points must at least compile.
     echo "==> cargo build -p smiler-bench (bench-serve compile check)"
     cargo build -p smiler-bench --bin expt
@@ -76,6 +87,15 @@ else
 
     echo "==> cargo test --workspace"
     cargo test --workspace
+
+    # Serve smoke with tracing on: a real CLI run writing request traces
+    # and status lines, every trace schema-validated by the CLI test; then
+    # the observability budget — trace-path cost must stay under 5% of a
+    # served request, traces complete and schema-valid, predictions
+    # bitwise-identical with tracing on.
+    echo "==> expt bench-obs --smoke --enforce-budget (observability budget)"
+    cargo run -p smiler-bench --release --bin expt -- \
+        bench-obs --smoke --enforce-budget --out "$(mktemp -d)/BENCH_obs_smoke.json"
 
     echo "==> cargo bench --workspace --no-run"
     cargo bench --workspace --no-run

@@ -25,10 +25,13 @@ const USAGE: &str =
      [--smoke] [--metrics-out <path>] [--trace-out <path>]\n\
      \x20      expt bench-step [--smoke] [--out <path>]   per-step latency snapshot\n\
      \x20      expt bench-serve [--smoke] [--out <path>]  serving-throughput snapshot\n\
-     \x20      expt bench-ingest [--smoke] [--out <path>] WAL append + recovery snapshot";
+     \x20      expt bench-ingest [--smoke] [--out <path>] WAL append + recovery snapshot\n\
+     \x20      expt bench-obs [--smoke] [--enforce-budget] [--out <path>]\n\
+     \x20                                                  request-tracing overhead snapshot";
 
 fn main() {
     let mut smoke = false;
+    let mut enforce_budget = false;
     let mut metrics_out: Option<PathBuf> = None;
     let mut trace_out: Option<PathBuf> = None;
     let mut out_path: Option<PathBuf> = None;
@@ -37,6 +40,7 @@ fn main() {
     while let Some(arg) = raw.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--enforce-budget" => enforce_budget = true,
             "--out" => {
                 let value = raw.next().unwrap_or_else(|| {
                     eprintln!("--out requires a path\n{USAGE}");
@@ -161,6 +165,62 @@ fn main() {
         println!("bench-ingest: wrote {}", path.display());
         return;
     }
+    // bench-obs measures what request tracing itself costs: identical load
+    // with and without a trace sink, plus a trace-stream audit and a
+    // bitwise prediction-invariance proof. With --enforce-budget it exits
+    // nonzero when tracing exceeds its overhead budget or the audit fails.
+    if ids.iter().any(|i| i == "bench-obs") {
+        let scale = if smoke {
+            smiler_bench::obsbench::ObsBenchScale::smoke()
+        } else {
+            smiler_bench::obsbench::ObsBenchScale::default_scale()
+        };
+        let report = smiler_bench::obsbench::run(scale);
+        let json = serde_json::to_string_pretty(&report).expect("report serialises");
+        let path = out_path.unwrap_or_else(|| PathBuf::from("results/BENCH_obs.json"));
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        std::fs::write(&path, format!("{json}\n")).unwrap_or_else(|e| {
+            eprintln!("could not write {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        println!(
+            "bench-obs: trace path {:.2} us/record = {:.4}% of a {:.2} ms request (budget \
+             {:.1}%); A/B context: plain {:.1} req/s vs traced {:.1} req/s ({:+.1}% throughput, \
+             {:+.1}% p50); {} trace records, schema_valid={} complete={} bitwise_identical={} \
+             -> {}",
+            report.overhead.trace_ns_per_record / 1_000.0,
+            report.overhead.direct_pct,
+            report.plain.best_latency_p50_ms,
+            smiler_bench::obsbench::OVERHEAD_BUDGET_PCT,
+            report.plain.median_throughput_rps,
+            report.traced.median_throughput_rps,
+            report.overhead.throughput_pct,
+            report.overhead.latency_p50_pct,
+            report.trace.records,
+            report.trace.schema_valid,
+            report.trace.complete,
+            report.predictions_bitwise_identical,
+            path.display()
+        );
+        if enforce_budget {
+            let ok = report.overhead.within_budget
+                && report.trace.schema_valid
+                && report.trace.complete
+                && report.trace.write_errors == 0
+                && report.predictions_bitwise_identical;
+            if !ok {
+                eprintln!(
+                    "bench-obs: observability budget violated (budget {:.1}%): {}",
+                    smiler_bench::obsbench::OVERHEAD_BUDGET_PCT,
+                    json
+                );
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     let observing = metrics_out.is_some() || trace_out.is_some();
     if observing {
         smiler_obs::set_enabled(true);
@@ -278,7 +338,9 @@ fn obs_measurements(id: &str) -> Vec<Measurement> {
         ));
     }
     for h in &snap.histograms {
-        let mean = if h.count > 0 { h.sum / h.count as f64 } else { f64::NAN };
+        // 0.0, not NaN: NaN serialises to `null` and poisons downstream
+        // aggregation of the results rows.
+        let mean = if h.count > 0 { h.sum / h.count as f64 } else { 0.0 };
         extra.push(Measurement::new(
             id,
             None,

@@ -20,6 +20,7 @@ use smiler_timeseries::SensorDataset;
 
 pub mod experiments;
 pub mod ingestbench;
+pub mod obsbench;
 pub mod report;
 pub mod servebench;
 pub mod stepbench;

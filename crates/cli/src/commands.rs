@@ -75,6 +75,8 @@ USAGE:
                [--max-batch 16] [--queue 64] [--predictor gp|ar]
                [--dataset road|mall|net] [--days 2] [--seed 7]
                [--data-dir <dir>] [--flush always|every-<n>|interval-<ms>]
+               [--trace-requests-out <path>] [--trace-sample <n>]
+               [--status-every <s>] [--slo-ms <ms>]
   smiler checkpoint --data-dir <dir> [--flush <policy>]
   smiler restore --data-dir <dir> [--flush <policy>]
   smiler info
@@ -113,6 +115,19 @@ OBSERVABILITY (any command):
                          deadline misses, GP failures)
   --trace-out <path>     write the event/span trace as JSON lines
   --quiet                suppress the human-readable summary table
+
+REQUEST TRACING & STATUS (serve):
+  --trace-requests-out <path>  write one JSON line per finished request
+                         (trace id, shard, batch id, rung, degradation
+                         reason, queue/total latency, event timeline).
+                         Tail-sampled: slow, degraded, shed, or faulted
+                         requests are always kept.
+  --trace-sample <n>     keep 1-in-<n> fast healthy full-ensemble traces
+                         (default 1 = keep all; the tail is always kept)
+  --status-every <s>     print a live fleet status line to stderr every
+                         <s> seconds (tail latency, rung mix, SLO burn)
+  --slo-ms <ms>          end-to-end latency SLO target for error-budget
+                         accounting in the status line (default 50)
 ";
 
 /// Dispatch a parsed command line.
@@ -363,6 +378,17 @@ fn serve(args: &Args) -> Result<String, CliError> {
         )),
         None => None,
     };
+    let slo_ms: u64 = args.get_or("slo-ms", 50)?;
+    let trace_requests_out = args.get("trace-requests-out").map(std::path::PathBuf::from);
+    let trace_sample: u64 = args.get_or("trace-sample", 1)?;
+    let status_every = match args.get("status-every") {
+        Some(s) => {
+            let seconds: f64 =
+                s.parse().map_err(|_| CliError::Other(format!("invalid --status-every {s:?}")))?;
+            (seconds > 0.0).then(|| std::time::Duration::from_secs_f64(seconds))
+        }
+        None => None,
+    };
     let predictor_kind = match args.get("predictor").unwrap_or("ar") {
         "gp" => PredictorKind::GaussianProcess,
         "ar" => PredictorKind::Aggregation,
@@ -445,8 +471,24 @@ fn serve(args: &Args) -> Result<String, CliError> {
     };
     let sensors = fleet.len();
 
-    let serve_config =
-        ServeConfig { shards, queue_capacity: queue, max_batch, ..ServeConfig::default() };
+    let serve_config = ServeConfig {
+        shards,
+        queue_capacity: queue,
+        max_batch,
+        slo_target: std::time::Duration::from_millis(slo_ms),
+        ..ServeConfig::default()
+    };
+    // Request tracing rides the whole serving run: install the sink before
+    // the server starts so admission sees it active from the first request.
+    if let Some(path) = &trace_requests_out {
+        let trace_config = smiler_obs::trace::TraceConfig {
+            sample_every: trace_sample.max(1),
+            ..Default::default()
+        };
+        smiler_obs::trace::install_file_sink(path, trace_config).map_err(|e| {
+            CliError::Other(format!("cannot open trace sink {}: {e}", path.display()))
+        })?;
+    }
     device.reset_clock();
     let server = match store {
         Some(store) => SmilerServer::start_with_store(
@@ -458,9 +500,39 @@ fn serve(args: &Args) -> Result<String, CliError> {
         None => SmilerServer::start(Arc::clone(&device), fleet, serve_config),
     };
     let handle = server.handle();
+    // Live status ticker: a line to stderr every --status-every seconds
+    // while the load runs (stderr so it never mixes into the report).
+    let ticker_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let ticker = status_every.map(|period| {
+        let handle = handle.clone();
+        let stop = Arc::clone(&ticker_stop);
+        std::thread::spawn(move || {
+            let mut last = std::time::Instant::now();
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                std::thread::sleep(std::time::Duration::from_millis(25).min(period));
+                if last.elapsed() >= period {
+                    eprintln!("{}", handle.status_report().render_line());
+                    last = std::time::Instant::now();
+                }
+            }
+        })
+    });
     let gen = LoadGen { clients, requests_per_client: requests, horizon, qps, deadline };
     let report = run_load(&handle, &gen);
+    let status = handle.status_report();
+    ticker_stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    if let Some(ticker) = ticker {
+        let _ = ticker.join();
+    }
     let stats = server.shutdown();
+    let trace_stats = trace_requests_out.as_ref().map(|path| {
+        smiler_obs::trace::flush_sink();
+        let stats = smiler_obs::trace::sink_stats().unwrap_or_default();
+        // Drop the sink: commands run in-process (tests, library use), so
+        // tracing must not leak past this serve run.
+        smiler_obs::trace::clear_sink();
+        (path.clone(), stats)
+    });
 
     let mut out = String::new();
     out.push_str(&durability_note);
@@ -497,6 +569,17 @@ fn serve(args: &Args) -> Result<String, CliError> {
         device.kernel_launches(),
         device.blocks_launched()
     );
+    if let Some((path, t)) = trace_stats {
+        let _ = writeln!(
+            out,
+            "request traces: {} emitted, {} sampled out, {} write errors -> {}",
+            t.emitted,
+            t.sampled_out,
+            t.write_errors,
+            path.display()
+        );
+    }
+    let _ = writeln!(out, "status: {}", status.render_line());
     Ok(out)
 }
 
@@ -776,6 +859,44 @@ mod tests {
         assert!(s.contains("throughput"), "{s}");
         assert!(s.contains("micro-batching"), "{s}");
         assert!(s.contains("kernel launches"), "{s}");
+    }
+
+    #[test]
+    fn serve_with_request_tracing_writes_terminal_traces() {
+        let path =
+            std::env::temp_dir().join(format!("smiler_cli_traces_{}.jsonl", std::process::id()));
+        let s = run(&args(&[
+            "serve",
+            "--shards",
+            "2",
+            "--sensors",
+            "4",
+            "--clients",
+            "2",
+            "--requests",
+            "8",
+            "--days",
+            "1",
+            "--status-every",
+            "0.05",
+            "--trace-requests-out",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(s.contains("request traces:"), "{s}");
+        assert!(s.contains("status: smiler up"), "{s}");
+        assert!(s.contains("slo"), "{s}");
+        let contents = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = contents.lines().collect();
+        // Other tests in this binary share the process-global sink, so the
+        // file may carry their requests too; every admitted request of THIS
+        // run must be there and every line must be schema-valid.
+        assert!(lines.len() >= 16, "expected ≥16 terminal traces, got {}", lines.len());
+        for line in &lines {
+            smiler_obs::trace::validate_trace_line(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+        }
+        assert!(lines.iter().any(|l| l.contains("\"outcome\":\"served\"")), "{contents}");
     }
 
     #[test]

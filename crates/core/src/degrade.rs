@@ -45,6 +45,25 @@ pub enum DegradationLevel {
 }
 
 impl DegradationLevel {
+    /// Every rung, least to most degraded; position i satisfies
+    /// `ALL[i].index() == i`. Lets telemetry keep dense per-rung arrays.
+    pub const ALL: [DegradationLevel; 4] = [
+        DegradationLevel::FullEnsemble,
+        DegradationLevel::CachedHyper,
+        DegradationLevel::Aggregation,
+        DegradationLevel::LastValue,
+    ];
+
+    /// Dense index of the rung (0 = full ensemble … 3 = last value).
+    pub fn index(self) -> usize {
+        match self {
+            DegradationLevel::FullEnsemble => 0,
+            DegradationLevel::CachedHyper => 1,
+            DegradationLevel::Aggregation => 2,
+            DegradationLevel::LastValue => 3,
+        }
+    }
+
     /// Stable label for metrics and logs.
     pub fn as_str(self) -> &'static str {
         match self {

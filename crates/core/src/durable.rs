@@ -40,6 +40,45 @@ use std::time::Instant;
 /// Version of the fleet checkpoint payload layout.
 pub const FLEET_FORMAT_VERSION: u32 = 1;
 
+/// Durability position of a store: where the WAL head is relative to the
+/// newest checkpoint. Surfaced by [`crate::serve::StatusReport`] so an
+/// operator can see how much replay a crash right now would cost.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct StoreStatus {
+    /// Sequence number of the newest WAL record.
+    pub last_seq: u64,
+    /// WAL sequence the newest checkpoint covers (0 when none exists).
+    pub checkpoint_seq: u64,
+    /// WAL records past the checkpoint — the replay cost of a crash now.
+    pub wal_lag: u64,
+    /// Seconds since the newest checkpoint file was written (its mtime);
+    /// `None` when no checkpoint exists or the clock/file is unreadable.
+    pub checkpoint_age_seconds: Option<f64>,
+}
+
+/// Read the durability position of `store`. Cheap: lists checkpoint file
+/// names without decoding any payload.
+pub fn store_status(store: &Store) -> StoreStatus {
+    let last_seq = store.last_seq();
+    let checkpoint_seq = smiler_store::checkpoint::list(store.dir())
+        .ok()
+        .and_then(|seqs| seqs.last().copied())
+        .unwrap_or(0);
+    let checkpoint_age_seconds = (checkpoint_seq > 0)
+        .then(|| {
+            let path = store.dir().join(format!("ckpt-{checkpoint_seq:016}.ck"));
+            let modified = std::fs::metadata(path).ok()?.modified().ok()?;
+            std::time::SystemTime::now().duration_since(modified).ok().map(|d| d.as_secs_f64())
+        })
+        .flatten();
+    StoreStatus {
+        last_seq,
+        checkpoint_seq,
+        wal_lag: last_seq.saturating_sub(checkpoint_seq),
+        checkpoint_age_seconds,
+    }
+}
+
 /// Failures of the durable fleet layer.
 #[derive(Debug)]
 pub enum DurableError {

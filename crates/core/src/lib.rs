@@ -54,13 +54,15 @@ pub mod stream;
 pub mod system;
 
 pub use degrade::{DegradationLevel, ErrorState, PredictError, Prediction, RequestPolicy};
-pub use durable::{DurableError, DurableSystem, RestoreReport};
+pub use durable::{store_status, DurableError, DurableSystem, RestoreReport, StoreStatus};
 pub use ensemble::{EnsembleConfig, EnsembleMatrix, EnsembleMode};
-pub use predictor::{ArPredictor, GpCellPredictor, KnnData, PredictorKind};
+pub use predictor::{
+    ArPredictor, GpCellPredictor, KnnData, PredictorKind, QualitySnapshot, QualityStats,
+};
 pub use sensor::{FaultKind, SensorPredictor, SmilerConfig};
 pub use serve::{
-    run_load, LoadGen, LoadReport, PendingForecast, ServeConfig, ServeError, ServeHandle,
-    ServeStatsSnapshot, SmilerServer,
+    run_load, LoadGen, LoadReport, PendingForecast, RungStatus, SensorStatusRow, ServeConfig,
+    ServeError, ServeHandle, ServeStatsSnapshot, SmilerServer, StatusReport,
 };
 pub use snapshot::{HorizonSnapshot, SensorSnapshot};
 pub use stream::{Forecast, SensorStream, StreamError};

@@ -235,6 +235,77 @@ pub enum HyperPlan {
     Reuse(Hyperparams),
 }
 
+/// Capacity of the rolling model-quality window: enough steps to smooth
+/// sensor noise, small enough that a drifting sensor shows up within a
+/// minute of one-second observations.
+const QUALITY_WINDOW: usize = 64;
+
+/// Rolling one-step forecast-quality bookkeeping for a sensor: absolute
+/// residuals of `h = 1` predictions scored against the observation that
+/// arrives next, and whether that observation landed inside the predicted
+/// 95% interval. Fixed-capacity rings — steady-state recording allocates
+/// nothing.
+#[derive(Debug, Clone)]
+pub struct QualityStats {
+    residuals: std::collections::VecDeque<f64>,
+    covered: std::collections::VecDeque<bool>,
+    samples: u64,
+}
+
+impl Default for QualityStats {
+    fn default() -> Self {
+        QualityStats {
+            residuals: std::collections::VecDeque::with_capacity(QUALITY_WINDOW),
+            covered: std::collections::VecDeque::with_capacity(QUALITY_WINDOW),
+            samples: 0,
+        }
+    }
+}
+
+impl QualityStats {
+    /// Record one scored forecast: the absolute residual and whether the
+    /// realised value fell inside the predicted 95% interval. Non-finite
+    /// residuals are dropped (a NaN would poison the rolling mean).
+    pub fn record(&mut self, residual_abs: f64, covered: bool) {
+        if !residual_abs.is_finite() {
+            return;
+        }
+        if self.residuals.len() == QUALITY_WINDOW {
+            self.residuals.pop_front();
+            self.covered.pop_front();
+        }
+        self.residuals.push_back(residual_abs);
+        self.covered.push_back(covered);
+        self.samples += 1;
+    }
+
+    /// The current rolling summary. Cheap (sums the ≤64-entry window).
+    pub fn snapshot(&self) -> QualitySnapshot {
+        let window = self.residuals.len() as u64;
+        if window == 0 {
+            return QualitySnapshot { samples: self.samples, ..QualitySnapshot::default() };
+        }
+        let mae = self.residuals.iter().sum::<f64>() / window as f64;
+        let inside = self.covered.iter().filter(|&&c| c).count() as f64;
+        QualitySnapshot { samples: self.samples, window, mae, coverage: inside / window as f64 }
+    }
+}
+
+/// A point-in-time summary of [`QualityStats`], exposed per sensor through
+/// the serving status report. All-zero until the first scored forecast.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize)]
+pub struct QualitySnapshot {
+    /// Scored one-step forecasts over the sensor's lifetime.
+    pub samples: u64,
+    /// Scored forecasts currently in the rolling window (≤ 64).
+    pub window: u64,
+    /// Rolling mean absolute one-step residual (0.0 on an empty window).
+    pub mae: f64,
+    /// Fraction of realised values inside the predicted 95% interval
+    /// (0.0 on an empty window; healthy GP sensors sit near 0.95).
+    pub coverage: f64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -324,5 +395,43 @@ mod tests {
         cell.predict(&data).unwrap(); // step 3 → retrain fires
                                       // (value may or may not move; the counter must have reset)
         assert_eq!(cell.steps_since_train, 0);
+    }
+
+    #[test]
+    fn quality_stats_empty_snapshot_is_zero_not_nan() {
+        let q = QualityStats::default();
+        let s = q.snapshot();
+        assert_eq!(s, QualitySnapshot::default());
+        assert_eq!(s.mae, 0.0);
+        assert_eq!(s.coverage, 0.0);
+    }
+
+    #[test]
+    fn quality_stats_window_rolls() {
+        let mut q = QualityStats::default();
+        for _ in 0..QUALITY_WINDOW {
+            q.record(10.0, false);
+        }
+        // Overwrite the whole window with small, covered residuals.
+        for _ in 0..QUALITY_WINDOW {
+            q.record(1.0, true);
+        }
+        let s = q.snapshot();
+        assert_eq!(s.samples, 2 * QUALITY_WINDOW as u64);
+        assert_eq!(s.window, QUALITY_WINDOW as u64);
+        assert!((s.mae - 1.0).abs() < 1e-12);
+        assert_eq!(s.coverage, 1.0);
+    }
+
+    #[test]
+    fn quality_stats_drops_non_finite() {
+        let mut q = QualityStats::default();
+        q.record(f64::NAN, true);
+        q.record(f64::INFINITY, true);
+        q.record(2.0, false);
+        let s = q.snapshot();
+        assert_eq!(s.samples, 1);
+        assert_eq!(s.mae, 2.0);
+        assert_eq!(s.coverage, 0.0);
     }
 }

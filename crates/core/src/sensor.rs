@@ -8,7 +8,9 @@
 
 use crate::degrade::{DegradationLevel, ErrorState, PredictError, Prediction, RequestPolicy};
 use crate::ensemble::{EnsembleConfig, EnsembleMatrix};
-use crate::predictor::{ArPredictor, GpCellPredictor, HyperPlan, KnnData, PredictorKind};
+use crate::predictor::{
+    ArPredictor, GpCellPredictor, HyperPlan, KnnData, PredictorKind, QualitySnapshot, QualityStats,
+};
 use smiler_gp::{GpError, GpModel, GpScratch, Hyperparams, PrefixGp, TrainConfig};
 use smiler_gpu::Device;
 use smiler_index::{IndexParams, SearchError, SearchOutput, SmilerIndex, ThresholdStrategy};
@@ -148,6 +150,12 @@ pub struct SensorPredictor {
     scratch: PredictScratch,
     /// Rolling error bookkeeping (degradation cooldown, health metrics).
     errors: ErrorState,
+    /// Rolling one-step forecast quality (residual MAE, interval coverage).
+    quality: QualityStats,
+    /// The most recent `h = 1` forecast awaiting its realisation:
+    /// `(target series length, mean, variance)`. Scored (then cleared) by
+    /// the observation that brings the series to that length.
+    pending_one_step: Option<(usize, f64, f64)>,
     /// Test-harness fault injection; `None` in production.
     injected: Option<FaultKind>,
 }
@@ -177,8 +185,15 @@ impl SensorPredictor {
             horizons: HashMap::new(),
             scratch: PredictScratch::default(),
             errors: ErrorState::default(),
+            quality: QualityStats::default(),
+            pending_one_step: None,
             injected: None,
         }
+    }
+
+    /// The sensor's rolling one-step forecast-quality summary.
+    pub fn quality_snapshot(&self) -> QualitySnapshot {
+        self.quality.snapshot()
     }
 
     /// The sensor's rolling error state (cooldown, failure totals).
@@ -413,6 +428,25 @@ impl SensorPredictor {
         h: usize,
         policy: &RequestPolicy,
     ) -> Result<Prediction, PredictError> {
+        let result = self.predict_with_ladder(h, policy);
+        // Remember the freshest one-step forecast so the next observation
+        // can score it (rolling residual MAE / interval coverage). Pure
+        // bookkeeping — no effect on the forecast itself.
+        if h == 1 {
+            if let Ok(p) = &result {
+                self.pending_one_step = Some((self.index.series().len(), p.mean, p.variance));
+            }
+        }
+        result
+    }
+
+    /// [`Self::try_predict_with`] minus the quality bookkeeping: the
+    /// degradation-ladder walk itself.
+    fn predict_with_ladder(
+        &mut self,
+        h: usize,
+        policy: &RequestPolicy,
+    ) -> Result<Prediction, PredictError> {
         let started = Instant::now();
         if h < 1 || h > self.config.h_max {
             return Err(PredictError::HorizonOutOfRange { h, h_max: self.config.h_max });
@@ -428,12 +462,16 @@ impl SensorPredictor {
             self.errors.cooldown_remaining -= 1;
             level = level.at_least(DegradationLevel::Aggregation);
             smiler_obs::count("health.gp_cooldown", "", 1);
+            smiler_obs::trace::mark_current("rung.gp_cooldown");
+            smiler_obs::trace::reason_current("gp_cooldown");
         }
         // Entry checkpoint: a budget that is already gone buys only the
         // last-value hold.
         if let Some(deadline) = policy.deadline {
             if started.elapsed() >= deadline {
                 level = DegradationLevel::LastValue;
+                smiler_obs::trace::mark_current("rung.deadline_entry");
+                smiler_obs::trace::reason_current("deadline_exhausted_at_entry");
             }
         }
         if level == DegradationLevel::LastValue {
@@ -441,13 +479,19 @@ impl SensorPredictor {
         }
 
         // Search Step — shared by every rung above the last-value hold.
+        smiler_obs::trace::mark_current("search.start");
         let search = match self.try_ensure_search() {
-            Ok(out) => out,
+            Ok(out) => {
+                smiler_obs::trace::mark_current("search.done");
+                out
+            }
             Err(SearchError::NonFiniteQuery { .. }) => {
                 // The query suffix itself is poisoned: nothing can be
                 // ranked, so nothing can be aggregated either — hold.
                 self.errors.total_search_errors += 1;
                 smiler_obs::count("health.search_error", "nonfinite_query", 1);
+                smiler_obs::trace::mark_current("rung.search_nonfinite");
+                smiler_obs::trace::reason_current("search_nonfinite_query");
                 return self.finish_last_value(h, policy, started);
             }
             Err(e) => {
@@ -463,12 +507,17 @@ impl SensorPredictor {
             let elapsed = started.elapsed();
             if elapsed >= deadline {
                 level = level.at_least(DegradationLevel::Aggregation);
+                smiler_obs::trace::mark_current("rung.deadline_post_search");
+                smiler_obs::trace::reason_current("deadline_exhausted_post_search");
             } else if elapsed * 2 >= deadline {
                 level = level.at_least(DegradationLevel::CachedHyper);
+                smiler_obs::trace::mark_current("rung.deadline_half_budget");
+                smiler_obs::trace::reason_current("deadline_half_budget");
             }
         }
 
         let (fused, gp_failures) = self.predict_core(h, &search, level);
+        smiler_obs::trace::mark_current("predict.done");
 
         // Error-state update feeding the cooldown rung.
         if gp_failures > 0 {
@@ -487,7 +536,11 @@ impl SensorPredictor {
         match fused {
             Some((mean, variance)) => Ok(self.finish(mean, variance, level, policy, started)),
             // Every cell asleep or failed: hold the last finite value.
-            None => self.finish_last_value(h, policy, started),
+            None => {
+                smiler_obs::trace::mark_current("rung.cells_exhausted");
+                smiler_obs::trace::reason_current("cells_exhausted");
+                self.finish_last_value(h, policy, started)
+            }
         }
     }
 
@@ -709,6 +762,24 @@ impl SensorPredictor {
     /// index (Remark 1 reuse).
     pub fn observe(&mut self, value: f64) {
         let arriving = self.index.series().len();
+        // Score the pending one-step forecast if this is the value it
+        // predicted; stale entries (missed steps) are silently dropped.
+        if let Some((target, mean, variance)) = self.pending_one_step.take() {
+            if target == arriving && value.is_finite() {
+                let residual = (value - mean).abs();
+                // 95% two-sided normal interval: mean ± 1.96σ.
+                let covered = residual <= 1.96 * variance.max(0.0).sqrt();
+                self.quality.record(residual, covered);
+                if smiler_obs::enabled() {
+                    smiler_obs::observe("quality.residual_abs", "", residual);
+                    smiler_obs::count(
+                        "quality.interval",
+                        if covered { "covered" } else { "missed" },
+                        1,
+                    );
+                }
+            }
+        }
         for state in self.horizons.values_mut() {
             // Drop stale entries, score the matching one.
             while let Some((t, _)) = state.pending.front() {

@@ -31,19 +31,43 @@
 //!
 //! Observability (`serve.*`): per-shard queue-depth gauges, a batch-size
 //! histogram, shed/timeout counters, per-batch spans and end-to-end
-//! request latency.
+//! request latency. On top of those process-global aggregates the server
+//! keeps **request-level accountability**:
+//!
+//! * when a trace sink is installed ([`smiler_obs::trace`]), admission
+//!   allocates a [`RequestTrace`] that rides the queue with the job; the
+//!   worker marks dequeue / batch / search / predict milestones, the
+//!   ladder annotates *why* a rung answered, and exactly one terminal
+//!   record per admitted request reaches the sink (tail-sampled);
+//! * always-on windowed telemetry — tail latency overall and per rung,
+//!   SLO error-budget burn, WAL-append latency, per-sensor health and
+//!   model quality — surfaces through [`ServeHandle::status_report`].
+//!
+//! Tracing and telemetry never touch the prediction math: forecasts are
+//! bitwise identical with tracing on or off.
 
 use crate::degrade::{DegradationLevel, Prediction, RequestPolicy};
+use crate::durable::StoreStatus;
+use crate::predictor::QualitySnapshot;
 use crate::sensor::SensorPredictor;
 use crate::system::{panic_message, SensorFault, SensorHealth};
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError, TrySendError};
+use parking_lot::Mutex;
 use smiler_gpu::Device;
 use smiler_index::{try_fleet_search, SearchOutput, SmilerIndex};
+use smiler_obs::trace::RequestTrace;
+use smiler_obs::{SloReport, SloTracker, TailQuantiles, WindowedHistogram};
 use smiler_store::SharedStore;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Width of one telemetry window; [`TELEMETRY_KEEP`] of them are
+/// retained, so status reports cover roughly the last minute.
+const TELEMETRY_WINDOW: Duration = Duration::from_secs(1);
+/// Closed telemetry windows retained per histogram / SLO ring.
+const TELEMETRY_KEEP: usize = 60;
 
 /// Configuration of the serving frontend.
 #[derive(Debug, Clone, Copy)]
@@ -64,6 +88,12 @@ pub struct ServeConfig {
     /// queue pressure can only push `policy.entry_level` further down the
     /// ladder.
     pub policy: RequestPolicy,
+    /// End-to-end latency target for SLO accounting (admission →
+    /// terminal). Purely observational: it never changes rung selection.
+    pub slo_target: Duration,
+    /// Allowed fraction of requests over `slo_target` — the error budget
+    /// the burn rate in [`StatusReport`] is measured against.
+    pub slo_budget: f64,
 }
 
 impl Default for ServeConfig {
@@ -74,6 +104,8 @@ impl Default for ServeConfig {
             max_batch: 16,
             batch_window: Duration::from_micros(500),
             policy: RequestPolicy::default(),
+            slo_target: Duration::from_millis(50),
+            slo_budget: 0.01,
         }
     }
 }
@@ -159,6 +191,9 @@ struct ForecastJob {
     deadline: Option<Instant>,
     enqueued: Instant,
     reply: Sender<Result<Prediction, ServeError>>,
+    /// Rides the queue with the job; `None` while no trace sink is
+    /// installed, so the inactive path allocates nothing.
+    trace: Option<RequestTrace>,
 }
 
 /// One queued observation.
@@ -230,6 +265,202 @@ impl ServeStats {
     }
 }
 
+/// Always-on windowed serving telemetry, shared by the shard workers and
+/// every handle. Recording costs one short mutex section per request —
+/// negligible against the prediction work — and never feeds back into
+/// serving decisions.
+struct Telemetry {
+    started: Instant,
+    /// Windowed end-to-end latency of served requests, seconds.
+    latency: Mutex<LatencyWindows>,
+    slo: Mutex<SloTracker>,
+    /// Windowed WAL-append latency (store-backed serving only), seconds.
+    wal_append: Mutex<WindowedHistogram>,
+    /// Lifetime served count per ladder rung (`DegradationLevel::index`).
+    served_by_rung: [AtomicU64; 4],
+    /// Per-sensor health/quality rows, indexed by global sensor id.
+    sensors: Mutex<Vec<SensorRow>>,
+}
+
+struct LatencyWindows {
+    all: WindowedHistogram,
+    by_rung: [WindowedHistogram; 4],
+}
+
+#[derive(Clone)]
+struct SensorRow {
+    served: u64,
+    faults: u64,
+    last_rung: Option<DegradationLevel>,
+    quarantined: bool,
+    quality: QualitySnapshot,
+}
+
+impl Telemetry {
+    fn new(fleet: usize, config: &ServeConfig) -> Telemetry {
+        let fresh = || WindowedHistogram::new(TELEMETRY_WINDOW, TELEMETRY_KEEP);
+        Telemetry {
+            started: Instant::now(),
+            latency: Mutex::new(LatencyWindows {
+                all: fresh(),
+                by_rung: std::array::from_fn(|_| fresh()),
+            }),
+            slo: Mutex::new(SloTracker::new(
+                config.slo_target,
+                config.slo_budget,
+                TELEMETRY_WINDOW,
+                TELEMETRY_KEEP,
+            )),
+            wal_append: Mutex::new(fresh()),
+            served_by_rung: std::array::from_fn(|_| AtomicU64::new(0)),
+            sensors: Mutex::new(vec![
+                SensorRow {
+                    served: 0,
+                    faults: 0,
+                    last_rung: None,
+                    quarantined: false,
+                    quality: QualitySnapshot::default(),
+                };
+                fleet
+            ]),
+        }
+    }
+
+    fn record_served(&self, sensor: usize, level: DegradationLevel, latency: Duration) {
+        self.served_by_rung[level.index()].fetch_add(1, Ordering::Relaxed);
+        let seconds = latency.as_secs_f64();
+        {
+            let mut windows = self.latency.lock();
+            windows.all.record(seconds);
+            windows.by_rung[level.index()].record(seconds);
+        }
+        self.slo.lock().record(latency);
+        let mut rows = self.sensors.lock();
+        if let Some(row) = rows.get_mut(sensor) {
+            row.served += 1;
+            row.last_rung = Some(level);
+        }
+    }
+
+    fn record_fault(&self, sensor: usize, quarantined: bool) {
+        let mut rows = self.sensors.lock();
+        if let Some(row) = rows.get_mut(sensor) {
+            row.faults += 1;
+            row.quarantined = row.quarantined || quarantined;
+        }
+    }
+
+    fn update_quality(&self, sensor: usize, quality: QualitySnapshot) {
+        let mut rows = self.sensors.lock();
+        if let Some(row) = rows.get_mut(sensor) {
+            row.quality = quality;
+        }
+    }
+}
+
+/// Windowed latency breakdown of one ladder rung.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct RungStatus {
+    /// The rung.
+    pub rung: DegradationLevel,
+    /// Lifetime forecasts served at this rung.
+    pub served: u64,
+    /// Windowed latency quantiles at this rung, seconds.
+    pub latency: TailQuantiles,
+}
+
+/// Per-sensor health and model-quality row of a [`StatusReport`].
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct SensorStatusRow {
+    /// Global sensor id.
+    pub sensor: u64,
+    /// Whether the sensor is quarantined on its shard.
+    pub quarantined: bool,
+    /// Lifetime forecasts served for this sensor.
+    pub served: u64,
+    /// Lifetime faults answered for this sensor.
+    pub faults: u64,
+    /// The rung that answered its most recent forecast.
+    pub last_rung: Option<DegradationLevel>,
+    /// Rolling one-step residual MAE and GP-interval coverage.
+    pub quality: QualitySnapshot,
+}
+
+/// A structured point-in-time snapshot of the serving frontend: what an
+/// operator (or the `--status-every` ticker) needs to judge fleet health
+/// at a glance. Built by [`ServeHandle::status_report`].
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct StatusReport {
+    /// Seconds since the server started.
+    pub uptime_seconds: f64,
+    /// Number of sensors the server owns.
+    pub fleet: u64,
+    /// Number of shard workers.
+    pub shards: u64,
+    /// Instantaneous queue depth per shard.
+    pub queue_depths: Vec<u64>,
+    /// Lifetime serving counters.
+    pub stats: ServeStatsSnapshot,
+    /// Fraction of admission attempts rejected for queue pressure.
+    pub shed_rate: f64,
+    /// Windowed end-to-end latency quantiles, seconds (roughly the last
+    /// minute; see `TELEMETRY_WINDOW`/`TELEMETRY_KEEP`).
+    pub latency: TailQuantiles,
+    /// The same windowed quantiles broken down per ladder rung, plus the
+    /// lifetime rung mix.
+    pub latency_by_rung: Vec<RungStatus>,
+    /// SLO target, windowed violation counts, and error-budget burn.
+    pub slo: SloReport,
+    /// Windowed WAL-append latency, seconds (store-backed serving only).
+    pub wal_append: Option<TailQuantiles>,
+    /// Durable-store position: WAL head vs newest checkpoint.
+    pub store: Option<StoreStatus>,
+    /// Per-sensor health and model-quality telemetry.
+    pub sensors: Vec<SensorStatusRow>,
+}
+
+impl StatusReport {
+    /// One human-readable status line (the `--status-every` ticker).
+    pub fn render_line(&self) -> String {
+        let ms = |s: f64| s * 1e3;
+        let depths = self.queue_depths.iter().map(|d| d.to_string()).collect::<Vec<_>>().join(",");
+        let rungs = self
+            .latency_by_rung
+            .iter()
+            .filter(|r| r.served > 0)
+            .map(|r| format!("{}:{}", r.rung.as_str(), r.served))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let quarantined = self.sensors.iter().filter(|s| s.quarantined).count();
+        let mut line = format!(
+            "smiler up {:.1}s | q[{}] | served {} shed {} fault {} obs {} | batch {:.1} | p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms p999 {:.2}ms | slo {:.0}ms burn {:.2}",
+            self.uptime_seconds,
+            depths,
+            self.stats.served,
+            self.stats.shed,
+            self.stats.faults,
+            self.stats.observed,
+            self.stats.mean_batch_size(),
+            ms(self.latency.p50),
+            ms(self.latency.p95),
+            ms(self.latency.p99),
+            ms(self.latency.p999),
+            self.slo.target_ms,
+            self.slo.burn_rate,
+        );
+        if !rungs.is_empty() {
+            line.push_str(&format!(" | rungs {rungs}"));
+        }
+        if let Some(store) = &self.store {
+            line.push_str(&format!(" | wal lag {}", store.wal_lag));
+        }
+        if quarantined > 0 {
+            line.push_str(&format!(" | quarantined {quarantined}"));
+        }
+        line
+    }
+}
+
 /// A forecast submitted but not yet answered. Dropping it abandons the
 /// request (the worker's reply is discarded).
 pub struct PendingForecast {
@@ -250,6 +481,8 @@ pub struct ServeHandle {
     senders: Vec<Sender<ShardMsg>>,
     fleet: usize,
     stats: Arc<ServeStats>,
+    telemetry: Arc<Telemetry>,
+    store: Option<SharedStore>,
 }
 
 impl ServeHandle {
@@ -283,15 +516,30 @@ impl ServeHandle {
         }
         let shard = sensor % self.senders.len();
         let now = Instant::now();
+        let trace = smiler_obs::trace::active().then(|| RequestTrace::begin(sensor, h, shard));
         let (reply, rx) = channel::bounded(1);
-        let job =
-            ForecastJob { sensor, h, deadline: budget.map(|b| now + b), enqueued: now, reply };
+        let job = ForecastJob {
+            sensor,
+            h,
+            deadline: budget.map(|b| now + b),
+            enqueued: now,
+            reply,
+            trace,
+        };
         match self.senders[shard].try_send(ShardMsg::Forecast(job)) {
             Ok(()) => Ok(PendingForecast { rx }),
-            Err(TrySendError::Full(_)) => {
+            Err(TrySendError::Full(msg)) => {
                 self.stats.shed.fetch_add(1, Ordering::Relaxed);
                 if smiler_obs::enabled() {
                     smiler_obs::count("serve.shed", &format!("shard={shard}"), 1);
+                }
+                // The bounced job carries the trace back: finish it here so
+                // shed requests get their terminal record too.
+                if let ShardMsg::Forecast(job) = msg {
+                    if let Some(mut trace) = job.trace {
+                        trace.finish_shed();
+                        smiler_obs::trace::submit(trace);
+                    }
                 }
                 Err(ServeError::Overloaded {
                     shard,
@@ -299,7 +547,15 @@ impl ServeHandle {
                     capacity: self.senders[shard].capacity(),
                 })
             }
-            Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
+            Err(TrySendError::Disconnected(msg)) => {
+                if let ShardMsg::Forecast(job) = msg {
+                    if let Some(mut trace) = job.trace {
+                        trace.finish_error("shutting_down");
+                        smiler_obs::trace::submit(trace);
+                    }
+                }
+                Err(ServeError::ShuttingDown)
+            }
         }
     }
 
@@ -332,6 +588,60 @@ impl ServeHandle {
     /// Number of sensors the server owns.
     pub fn fleet_size(&self) -> usize {
         self.fleet
+    }
+
+    /// A structured snapshot of fleet health: queue depths, rung mix,
+    /// windowed tail latency (overall and per rung), SLO burn, store
+    /// position, and per-sensor model-quality telemetry.
+    pub fn status_report(&self) -> StatusReport {
+        let stats = self.stats.snapshot();
+        let admissions = stats.served + stats.faults + stats.observed + stats.shed;
+        let shed_rate = if admissions == 0 { 0.0 } else { stats.shed as f64 / admissions as f64 };
+        let telemetry = &self.telemetry;
+        let (latency, latency_by_rung) = {
+            let mut windows = telemetry.latency.lock();
+            let all = windows.all.quantiles();
+            let by_rung = DegradationLevel::ALL
+                .iter()
+                .map(|&rung| RungStatus {
+                    rung,
+                    served: telemetry.served_by_rung[rung.index()].load(Ordering::Relaxed),
+                    latency: windows.by_rung[rung.index()].quantiles(),
+                })
+                .collect();
+            (all, by_rung)
+        };
+        let slo = telemetry.slo.lock().report();
+        let wal_append = self.store.as_ref().map(|_| telemetry.wal_append.lock().quantiles());
+        let store = self.store.as_ref().map(|s| crate::durable::store_status(&s.lock()));
+        let sensors = telemetry
+            .sensors
+            .lock()
+            .iter()
+            .enumerate()
+            .map(|(id, row)| SensorStatusRow {
+                sensor: id as u64,
+                quarantined: row.quarantined,
+                served: row.served,
+                faults: row.faults,
+                last_rung: row.last_rung,
+                quality: row.quality,
+            })
+            .collect();
+        StatusReport {
+            uptime_seconds: telemetry.started.elapsed().as_secs_f64(),
+            fleet: self.fleet as u64,
+            shards: self.senders.len() as u64,
+            queue_depths: self.senders.iter().map(|s| s.len() as u64).collect(),
+            stats,
+            shed_rate,
+            latency,
+            latency_by_rung,
+            slo,
+            wal_append,
+            store,
+            sensors,
+        }
     }
 }
 
@@ -375,6 +685,7 @@ impl SmilerServer {
         let shards = config.shards.max(1);
         let fleet = sensors.len();
         let stats = Arc::new(ServeStats::default());
+        let telemetry = Arc::new(Telemetry::new(fleet, &config));
 
         let mut partitions: Vec<Vec<SensorPredictor>> = Vec::new();
         partitions.resize_with(shards, Vec::new);
@@ -396,13 +707,15 @@ impl SmilerServer {
                 sensors: part,
                 config,
                 stats: Arc::clone(&stats),
+                telemetry: Arc::clone(&telemetry),
                 rx,
                 store: store.clone(),
                 drained: drained_tx.clone(),
             };
             workers.push(std::thread::spawn(move || worker.run()));
         }
-        SmilerServer { handle: ServeHandle { senders, fleet, stats }, workers, drained, store }
+        let handle = ServeHandle { senders, fleet, stats, telemetry, store: store.clone() };
+        SmilerServer { handle, workers, drained, store }
     }
 
     /// A clonable client handle.
@@ -413,6 +726,11 @@ impl SmilerServer {
     /// Current serving counters.
     pub fn stats(&self) -> ServeStatsSnapshot {
         self.handle.stats.snapshot()
+    }
+
+    /// A structured fleet-health snapshot ([`ServeHandle::status_report`]).
+    pub fn status_report(&self) -> StatusReport {
+        self.handle.status_report()
     }
 
     /// Graceful shutdown: every queued request completes (drain), then the
@@ -500,6 +818,7 @@ struct ShardWorker {
     health: Vec<SensorHealth>,
     config: ServeConfig,
     stats: Arc<ServeStats>,
+    telemetry: Arc<Telemetry>,
     rx: Receiver<ShardMsg>,
     /// Durable log: observations append here before any index advances.
     store: Option<SharedStore>,
@@ -512,7 +831,9 @@ enum BatchTail {
     /// Queue empty (or window closed) — keep serving.
     Continue,
     /// A non-forecast message interrupted the run; handle it next.
-    Stashed(ShardMsg),
+    /// Boxed: a stashed message is rare, the happy-path variants stay
+    /// small.
+    Stashed(Box<ShardMsg>),
     /// Shutdown was queued behind the batch; drain and exit.
     Drain,
 }
@@ -537,8 +858,14 @@ impl ShardWorker {
                     self.serve_batch(batch);
                     match tail {
                         BatchTail::Continue => {}
-                        BatchTail::Stashed(ShardMsg::Observe(job)) => self.serve_observe(job),
-                        BatchTail::Stashed(_) | BatchTail::Drain => {
+                        BatchTail::Stashed(msg) => match *msg {
+                            ShardMsg::Observe(job) => self.serve_observe(job),
+                            _ => {
+                                self.drain();
+                                break;
+                            }
+                        },
+                        BatchTail::Drain => {
                             self.drain();
                             break;
                         }
@@ -565,7 +892,7 @@ impl ShardWorker {
             match self.rx.try_recv() {
                 Ok(ShardMsg::Forecast(job)) => batch.push(job),
                 Ok(ShardMsg::Shutdown) => return (batch, BatchTail::Drain),
-                Ok(msg) => return (batch, BatchTail::Stashed(msg)),
+                Ok(msg) => return (batch, BatchTail::Stashed(Box::new(msg))),
                 Err(TryRecvError::Disconnected) => return (batch, BatchTail::Continue),
                 Err(TryRecvError::Empty) => {
                     let now = Instant::now();
@@ -575,7 +902,7 @@ impl ShardWorker {
                     match self.rx.recv_timeout(window_closes - now) {
                         Ok(ShardMsg::Forecast(job)) => batch.push(job),
                         Ok(ShardMsg::Shutdown) => return (batch, BatchTail::Drain),
-                        Ok(msg) => return (batch, BatchTail::Stashed(msg)),
+                        Ok(msg) => return (batch, BatchTail::Stashed(Box::new(msg))),
                         Err(RecvTimeoutError::Timeout) => return (batch, BatchTail::Continue),
                         Err(RecvTimeoutError::Disconnected) => return (batch, BatchTail::Continue),
                     }
@@ -588,7 +915,7 @@ impl ShardWorker {
     /// Serve one micro-batch: a single fleet search covers every distinct
     /// healthy sensor in the batch that lacks a current cached search, then
     /// each request predicts off the installed result.
-    fn serve_batch(&mut self, batch: Vec<ForecastJob>) {
+    fn serve_batch(&mut self, mut batch: Vec<ForecastJob>) {
         let depth = self.rx.len();
         let pressure = DegradationLevel::for_queue_pressure(depth, self.config.queue_capacity);
         let _span = smiler_obs::span("serve.batch");
@@ -603,8 +930,31 @@ impl ShardWorker {
         self.stats.batches.fetch_add(1, Ordering::Relaxed);
         self.stats.batched_forecasts.fetch_add(batch.len() as u64, Ordering::Relaxed);
 
+        // Stamp member traces with the dequeue milestone and the batch id
+        // that links them to the single fleet-search launch below.
+        if batch.iter().any(|j| j.trace.is_some()) {
+            let batch_id = smiler_obs::trace::next_batch_id();
+            let size = batch.len();
+            for job in &mut batch {
+                if let Some(trace) = &mut job.trace {
+                    trace.mark("dequeue");
+                    trace.set_batch(batch_id, size);
+                }
+            }
+        }
+
         if batch.len() > 1 {
+            for job in &mut batch {
+                if let Some(trace) = &mut job.trace {
+                    trace.mark("batch_search.start");
+                }
+            }
             self.batch_search(&batch);
+            for job in &mut batch {
+                if let Some(trace) = &mut job.trace {
+                    trace.mark("batch_search.done");
+                }
+            }
         }
         for job in batch {
             self.serve_forecast(job, pressure);
@@ -656,54 +1006,87 @@ impl ShardWorker {
         }
     }
 
-    /// Serve one forecast behind the per-sensor panic boundary.
+    /// Serve one forecast behind the per-sensor panic boundary. Exactly
+    /// one terminal trace record leaves here per job, whatever path the
+    /// request takes (served at any rung, typed fault, quarantine, panic,
+    /// or unknown sensor).
     fn serve_forecast(&mut self, job: ForecastJob, pressure: DegradationLevel) {
+        let ForecastJob { sensor: sensor_id, h, deadline, enqueued, reply, mut trace } = job;
         let now = Instant::now();
         let mut policy = self.config.policy;
         policy.entry_level = policy.entry_level.at_least(pressure);
-        if let Some(deadline) = job.deadline {
+        if pressure > DegradationLevel::FullEnsemble {
+            if let Some(trace) = &mut trace {
+                trace.mark("rung.queue_pressure");
+                trace.set_reason("queue_pressure");
+            }
+        }
+        if let Some(deadline) = deadline {
             let remaining = deadline.saturating_duration_since(now);
             if remaining.is_zero() {
                 self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
                 smiler_obs::count("serve.timeout", "", 1);
+                if let Some(trace) = &mut trace {
+                    trace.mark("rung.deadline_queued_out");
+                    trace.set_reason("deadline_exhausted_in_queue");
+                }
             }
             policy.deadline = Some(remaining);
         }
 
-        let Some(local) = self.local_of(job.sensor) else {
-            let _ = job.reply.try_send(Err(ServeError::UnknownSensor {
-                sensor: job.sensor,
+        let Some(local) = self.local_of(sensor_id) else {
+            let _ = reply.try_send(Err(ServeError::UnknownSensor {
+                sensor: sensor_id,
                 fleet: self.shards * self.sensors.len(),
             }));
+            if let Some(mut trace) = trace {
+                trace.finish_error("unknown_sensor");
+                smiler_obs::trace::submit(trace);
+            }
             return;
         };
         if let SensorHealth::Quarantined { message } = &self.health[local] {
             self.stats.faults.fetch_add(1, Ordering::Relaxed);
+            self.telemetry.record_fault(sensor_id, true);
             let fault = SensorFault::Quarantined { message: message.clone() };
-            let _ = job.reply.try_send(Err(ServeError::Fault(fault)));
+            let _ = reply.try_send(Err(ServeError::Fault(fault)));
+            if let Some(mut trace) = trace {
+                trace.set_reason("quarantined");
+                trace.finish_fault("quarantined");
+                smiler_obs::trace::submit(trace);
+            }
             return;
         }
 
         let sensor = &mut self.sensors[local];
-        let outcome =
-            panic::catch_unwind(AssertUnwindSafe(|| sensor.try_predict_with(job.h, &policy)));
-        let reply = match outcome {
+        // Hand the trace to the thread-local so the degradation ladder
+        // deep inside `try_predict_with` can annotate it; the thread-local
+        // survives the unwind of a panicking prediction.
+        smiler_obs::trace::set_current(trace.take());
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| sensor.try_predict_with(h, &policy)));
+        let mut trace = smiler_obs::trace::take_current();
+        let reply_value = match outcome {
             Ok(Ok(mut prediction)) => {
-                if job.deadline.is_some_and(|d| Instant::now() >= d) {
+                if deadline.is_some_and(|d| Instant::now() >= d) {
                     prediction.deadline_missed = true;
                 }
                 self.stats.served.fetch_add(1, Ordering::Relaxed);
+                let latency = enqueued.elapsed();
+                self.telemetry.record_served(sensor_id, prediction.level, latency);
                 if smiler_obs::enabled() {
-                    smiler_obs::observe(
-                        "serve.latency_seconds",
-                        "",
-                        job.enqueued.elapsed().as_secs_f64(),
-                    );
+                    smiler_obs::observe("serve.latency_seconds", "", latency.as_secs_f64());
+                }
+                if let Some(trace) = &mut trace {
+                    trace.finish_served(prediction.level.as_str(), prediction.deadline_missed);
                 }
                 Ok(prediction)
             }
             Ok(Err(e)) => {
                 self.stats.faults.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.record_fault(sensor_id, false);
+                if let Some(trace) = &mut trace {
+                    trace.finish_fault("predict_error");
+                }
                 Err(ServeError::Fault(SensorFault::Predict(e)))
             }
             Err(payload) => {
@@ -712,11 +1095,19 @@ impl ShardWorker {
                 let message = panic_message(payload);
                 self.health[local] = SensorHealth::Quarantined { message: message.clone() };
                 self.stats.faults.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.record_fault(sensor_id, true);
                 smiler_obs::count("health.sensor_panic", "", 1);
+                if let Some(trace) = &mut trace {
+                    trace.set_aborted();
+                    trace.finish_fault("panic");
+                }
                 Err(ServeError::Fault(SensorFault::Panicked { message }))
             }
         };
-        let _ = job.reply.try_send(reply);
+        let _ = reply.try_send(reply_value);
+        if let Some(trace) = trace {
+            smiler_obs::trace::submit(trace);
+        }
     }
 
     /// Absorb one observation behind the same panic boundary.
@@ -736,7 +1127,14 @@ impl ShardWorker {
         // Durability first: the value reaches the WAL before the index
         // advances; an append failure absorbs nothing.
         if let Some(store) = &self.store {
-            if let Err(e) = store.lock().append_observe(job.sensor as u32, job.value) {
+            let append_started = Instant::now();
+            let appended = store.lock().append_observe(job.sensor as u32, job.value);
+            let append_seconds = append_started.elapsed().as_secs_f64();
+            self.telemetry.wal_append.lock().record(append_seconds);
+            if smiler_obs::enabled() {
+                smiler_obs::observe("serve.wal_append_seconds", "", append_seconds);
+            }
+            if let Err(e) = appended {
                 smiler_obs::count("store.append_error", "", 1);
                 let _ = job.reply.try_send(Err(ServeError::Durability { message: e.to_string() }));
                 return;
@@ -747,6 +1145,9 @@ impl ShardWorker {
         let reply = match outcome {
             Ok(()) => {
                 self.stats.observed.fetch_add(1, Ordering::Relaxed);
+                // The arriving value may have scored a pending one-step
+                // prediction; refresh the sensor's quality telemetry row.
+                self.telemetry.update_quality(job.sensor, sensor.quality_snapshot());
                 Ok(())
             }
             Err(payload) => {

@@ -8,23 +8,32 @@
 //!   phase breakdown.
 //!
 //! Every row is a single-line JSON object with a `"type"` discriminator:
-//! `counter`, `gauge`, `histogram`, `span`, `event`, or `truncation`.
+//! `counter`, `gauge`, `histogram`, `span`, `event`, or `truncation` —
+//! and three stamps assigned at export time (see [`crate::stamp`]): a
+//! process-wide `seq` ordering records across files, plus `t_wall_ms` /
+//! `t_mono_s` timestamps for joining export windows.
 
 use serde::{Content, Serialize};
 
 use crate::event::{events_dropped, events_snapshot};
 use crate::registry::metrics_snapshot;
 use crate::span::span_snapshot;
+use crate::stamp;
 
 fn row(kind: &str, fields: Vec<(&str, Content)>) -> String {
-    let mut entries = vec![("type".to_string(), Content::Str(kind.to_string()))];
+    let mut entries = vec![
+        ("type".to_string(), Content::Str(kind.to_string())),
+        ("seq".to_string(), Content::U64(stamp::next_export_seq())),
+        ("t_wall_ms".to_string(), Content::U64(stamp::wall_clock_ms())),
+        ("t_mono_s".to_string(), Content::F64(stamp::mono_seconds())),
+    ];
     entries.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
     serde_json::to_string(&ContentDoc(Content::Map(entries)))
         .expect("row serialisation is infallible")
 }
 
 /// Wrapper so a pre-built [`Content`] tree can go through `serde_json`.
-struct ContentDoc(Content);
+pub(crate) struct ContentDoc(pub(crate) Content);
 
 impl Serialize for ContentDoc {
     fn to_content(&self) -> Content {
@@ -99,6 +108,7 @@ fn span_lines() -> Vec<String> {
                     ("count", Content::U64(s.count)),
                     ("total_seconds", Content::F64(s.total_seconds)),
                     ("mean_seconds", Content::F64(s.mean_seconds())),
+                    ("aborted", Content::U64(s.aborted)),
                 ],
             )
         })
@@ -114,12 +124,21 @@ pub fn trace_jsonl_string() -> String {
     }
     for e in events_snapshot() {
         // The payload is already JSON; splice it in verbatim rather than
-        // re-parsing it into a tree.
+        // re-parsing it into a tree. `seq` is the export-time stamp like
+        // every other row; the emission-order ring sequence (whose gaps
+        // indicate evicted events) rides along as `event_seq`.
         let kind = serde_json::to_string(&e.kind).expect("string serialises");
         let label = serde_json::to_string(&e.label).expect("string serialises");
         lines.push(format!(
-            "{{\"type\":\"event\",\"seq\":{},\"t_seconds\":{:?},\"kind\":{},\"label\":{},\"payload\":{}}}",
-            e.seq, e.t_seconds, kind, label, e.payload_json
+            "{{\"type\":\"event\",\"seq\":{},\"t_wall_ms\":{},\"t_mono_s\":{:?},\"event_seq\":{},\"t_seconds\":{:?},\"kind\":{},\"label\":{},\"payload\":{}}}",
+            stamp::next_export_seq(),
+            stamp::wall_clock_ms(),
+            stamp::mono_seconds(),
+            e.seq,
+            e.t_seconds,
+            kind,
+            label,
+            e.payload_json
         ));
     }
     lines.extend(span_lines());
@@ -276,6 +295,33 @@ mod tests {
         let payload = field(&rows[0], "payload");
         assert_eq!(field(payload, "x").as_u64(), Some(7));
         assert_eq!(field(&rows[1], "type").as_str(), Some("span"));
+    }
+
+    #[test]
+    fn export_rows_carry_ordering_stamps() {
+        let _g = lock_global();
+        count("c", "", 1);
+        event("e", "", &1u64);
+        {
+            let _s = span("s");
+        }
+        let metrics = metrics_jsonl_string();
+        let traces = trace_jsonl_string();
+        let mut last_seq = None;
+        for line in metrics.lines().chain(traces.lines()) {
+            let row = &parse_lines(line)[0];
+            let seq = field(row, "seq").as_u64().expect("every export row has a u64 seq");
+            assert!(field(row, "t_wall_ms").as_u64().is_some(), "missing t_wall_ms: {line}");
+            assert!(field(row, "t_mono_s").as_f64().is_some(), "missing t_mono_s: {line}");
+            if let Some(prev) = last_seq {
+                assert!(seq > prev, "export seq must be monotone across files");
+            }
+            last_seq = Some(seq);
+        }
+        // The event row keeps its emission-order ring sequence alongside.
+        let event_line = traces.lines().find(|l| l.contains("\"type\":\"event\"")).unwrap();
+        let row = &parse_lines(event_line)[0];
+        assert_eq!(field(row, "event_seq").as_u64(), Some(0));
     }
 
     #[test]

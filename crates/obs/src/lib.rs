@@ -44,6 +44,9 @@ mod event;
 mod export;
 mod registry;
 mod span;
+pub mod stamp;
+pub mod trace;
+pub mod window;
 
 pub use event::{event, events_dropped, events_snapshot, EventRecord};
 pub use export::{
@@ -54,6 +57,7 @@ pub use registry::{
     MetricsSnapshot,
 };
 pub use span::{span, span_snapshot, SpanGuard, SpanRow};
+pub use window::{SloReport, SloTracker, TailQuantiles, WindowedHistogram};
 
 /// The global observability switch. Off by default.
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -70,13 +74,15 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
-/// Clear all recorded metrics, spans, and events (the enabled flag is left
-/// untouched). Spans still open on other threads record into the cleared
-/// state when they close.
+/// Clear all recorded metrics, spans, and events, and drop any installed
+/// trace sink (the enabled flag is left untouched; the export sequence
+/// counter deliberately survives, see [`stamp`]). Spans still open on
+/// other threads record into the cleared state when they close.
 pub fn reset() {
     registry::reset();
     span::reset();
     event::reset();
+    trace::reset();
 }
 
 /// Open a hierarchical span: `let _guard = span!("search.verify");`.

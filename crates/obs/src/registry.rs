@@ -20,8 +20,19 @@ use crate::enabled;
 const BUCKETS_PER_DECADE: f64 = 8.0;
 /// log₁₀ of the smallest representable bucket boundary.
 const MIN_DECADE: f64 = -12.0;
-/// Total bucket count (16 decades × 8).
-const NUM_BUCKETS: usize = 128;
+/// Total bucket count (16 decades × 8). Shared with the windowed
+/// histograms in [`crate::window`].
+pub(crate) const NUM_BUCKETS: usize = 128;
+
+/// Bucket index of `value` on the shared log scale.
+pub(crate) fn bucket_of(value: f64) -> usize {
+    Histogram::bucket_of(value)
+}
+
+/// Geometric midpoint of bucket `idx` on the shared log scale.
+pub(crate) fn bucket_value(idx: usize) -> f64 {
+    Histogram::bucket_value(idx)
+}
 
 #[derive(Default)]
 struct Counter {
@@ -75,9 +86,11 @@ impl Histogram {
         update_f64(&self.max_bits, |m| m.max(value));
     }
 
+    /// Approximate percentile from bucket counts; 0.0 (not NaN) on an
+    /// empty histogram so downstream JSON and arithmetic stay finite.
     fn percentile(&self, counts: &[u64], total: u64, p: f64) -> f64 {
         if total == 0 {
-            return f64::NAN;
+            return 0.0;
         }
         let rank = (p * total as f64).ceil().max(1.0) as u64;
         let mut seen = 0;

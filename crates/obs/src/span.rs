@@ -19,6 +19,8 @@ use crate::enabled;
 struct SpanAgg {
     count: u64,
     total_seconds: f64,
+    /// Spans that closed while their thread was unwinding from a panic.
+    aborted: u64,
 }
 
 static SPANS: Mutex<Option<HashMap<String, SpanAgg>>> = Mutex::new(None);
@@ -58,10 +60,17 @@ impl Drop for SpanGuard {
         STACK.with(|stack| {
             stack.borrow_mut().pop();
         });
+        // `Drop` also runs during unwinding (the quarantine path wraps
+        // predictions in `catch_unwind`): record the measured duration
+        // rather than losing the span, and flag the abort.
+        let aborted = std::thread::panicking();
         let mut spans = SPANS.lock();
         let agg = spans.get_or_insert_with(HashMap::new).entry(path).or_default();
         agg.count += 1;
         agg.total_seconds += seconds;
+        if aborted {
+            agg.aborted += 1;
+        }
     }
 }
 
@@ -74,6 +83,9 @@ pub struct SpanRow {
     pub count: u64,
     /// Total wall seconds across those spans.
     pub total_seconds: f64,
+    /// How many of those spans closed during a panic unwind (included in
+    /// `count` and `total_seconds`).
+    pub aborted: u64,
 }
 
 impl SpanRow {
@@ -98,6 +110,7 @@ pub fn span_snapshot() -> Vec<SpanRow> {
                     path: path.clone(),
                     count: agg.count,
                     total_seconds: agg.total_seconds,
+                    aborted: agg.aborted,
                 })
                 .collect()
         })
@@ -151,6 +164,25 @@ mod tests {
         let inner = rows.iter().find(|r| r.path == "outer/inner").unwrap();
         assert!(outer.total_seconds >= inner.total_seconds - 1e-9);
         assert!(inner.total_seconds >= 0.006);
+    }
+
+    #[test]
+    fn panicking_span_records_with_aborted_flag() {
+        let _g = lock_global();
+        let unwound = std::panic::catch_unwind(|| {
+            let _s = span("doomed");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            panic!("injected");
+        });
+        assert!(unwound.is_err());
+        {
+            let _s = span("doomed"); // a second, clean pass
+        }
+        let rows = span_snapshot();
+        let row = rows.iter().find(|r| r.path == "doomed").unwrap();
+        assert_eq!(row.count, 2, "the unwound span must still be counted");
+        assert_eq!(row.aborted, 1);
+        assert!(row.total_seconds >= 0.002, "the unwound span keeps its duration");
     }
 
     #[test]

@@ -148,6 +148,7 @@ pub struct Wal {
     policy: FlushPolicy,
     appends_since_sync: u64,
     last_sync: Instant,
+    syncs: u64,
 }
 
 fn segment_path(dir: &Path, index: u64) -> PathBuf {
@@ -405,6 +406,7 @@ impl Wal {
             policy: config.flush,
             appends_since_sync: 0,
             last_sync: Instant::now(),
+            syncs: 0,
         };
         Ok((wal, records, report))
     }
@@ -466,11 +468,19 @@ impl Wal {
         self.file.sync_data()?;
         self.appends_since_sync = 0;
         self.last_sync = Instant::now();
+        self.syncs += 1;
         if smiler_obs::enabled() {
             smiler_obs::count("store.fsync", "", 1);
             smiler_obs::observe("store.fsync_seconds", "", started.elapsed().as_secs_f64());
         }
         Ok(())
+    }
+
+    /// Fsyncs this WAL has issued since it was opened. Unlike the global
+    /// `store.fsync` counter, this is per-instance — usable from tests
+    /// that run concurrently with other stores in the same process.
+    pub fn syncs(&self) -> u64 {
+        self.syncs
     }
 
     /// Seal the current segment and start the next one.
@@ -676,32 +686,18 @@ mod tests {
 
     #[test]
     fn every_n_policy_batches_fsyncs() {
+        // Counted per WAL instance, not via the process-global obs
+        // counters: sibling tests appending to their own stores run
+        // concurrently and would pollute the global numbers.
         let dir = tmpdir("groupcommit");
         let cfg = StoreConfig { flush: FlushPolicy::EveryN(8), ..StoreConfig::default() };
-        smiler_obs::reset();
-        smiler_obs::set_enabled(true);
         {
             let (mut wal, _, _) = Wal::open(&dir, &cfg).unwrap();
             for i in 0..64 {
                 wal.append(|seq| WalRecord::Observe { seq, sensor: 0, value: i as f64 }).unwrap();
             }
+            assert_eq!(wal.syncs(), 8, "64 appends at every-8 = 8 group commits");
         }
-        let snapshot = smiler_obs::metrics_snapshot();
-        let appends = snapshot
-            .counters
-            .iter()
-            .find(|c| c.name == "store.append")
-            .map(|c| c.value)
-            .unwrap_or(0);
-        let fsyncs = snapshot
-            .counters
-            .iter()
-            .find(|c| c.name == "store.fsync")
-            .map(|c| c.value)
-            .unwrap_or(0);
-        smiler_obs::set_enabled(false);
-        assert_eq!(appends, 64);
-        assert_eq!(fsyncs, 8, "64 appends at every-8 = 8 group commits");
         // All records still durable (they reached the OS on every append).
         let (_, records, _) = Wal::open(&dir, &cfg).unwrap();
         assert_eq!(records.len(), 64);
